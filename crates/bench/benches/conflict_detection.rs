@@ -1,0 +1,66 @@
+//! Microbenchmarks for the Section 5 conflict-analysis pipeline: target
+//! hashing (Algorithm 1), the Equation 6 oracle, and the union-graph
+//! algorithm — the paper's point is that union-graph needs n graph
+//! builds instead of n², so its per-pair cost must stay low.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sq_build::affected::SnapshotAnalysis;
+use sq_build::conflict::{eq6_conflict, union_graph_conflict};
+use sq_build::TargetHashes;
+use sq_vcs::{ObjectStore, Patch, RepoPath, Tree};
+use sq_workload::repo_model::MaterializedRepo;
+use sq_workload::WorkloadParams;
+
+fn repo_of_size(n_parts: usize) -> (Tree, ObjectStore) {
+    let mut params = WorkloadParams::ios();
+    params.n_parts = n_parts;
+    let m = MaterializedRepo::generate(&params).expect("repo generates");
+    let tree = m.repo.head_tree().expect("head tree");
+    (tree, m.repo.store().clone())
+}
+
+fn bench_target_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_target_hashing");
+    for &n in &[50usize, 200, 800] {
+        let (tree, store) = repo_of_size(n);
+        let graph = sq_build::parse_workspace(&tree, &store).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| TargetHashes::compute(&graph, &tree, &store).expect("hashes"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conflict_detectors(c: &mut Criterion) {
+    let (tree, mut store) = repo_of_size(200);
+    let base = SnapshotAnalysis::analyze(&tree, &store).expect("analyzable");
+    let p = |s: &str| RepoPath::new(s).expect("valid");
+    let c1 = Patch::write(p("parts/p0000/src_0.rs"), "edit-1");
+    let c2 = Patch::write(p("parts/p0100/src_1.rs"), "edit-2");
+    let t1 = c1.apply(&tree, &mut store).expect("applies");
+    let t2 = c2.apply(&tree, &mut store).expect("applies");
+    let t12 = c1.compose(&c2).apply(&tree, &mut store).expect("applies");
+    let a1 = SnapshotAnalysis::analyze(&t1, &store).expect("analyzable");
+    let a2 = SnapshotAnalysis::analyze(&t2, &store).expect("analyzable");
+    let a12 = SnapshotAnalysis::analyze(&t12, &store).expect("analyzable");
+
+    let mut group = c.benchmark_group("conflict_detection_200_targets");
+    group.bench_function("eq6_oracle", |b| {
+        b.iter(|| eq6_conflict(&base, &a1, &a2, &a12));
+    });
+    group.bench_function("union_graph", |b| {
+        b.iter(|| union_graph_conflict(&base, &a1, &a2));
+    });
+    group.bench_function("fast_path_names", |b| {
+        b.iter(|| sq_build::conflict::fast_path_conflict(&base, &a1, &a2));
+    });
+    // The expensive part Eq. 6 additionally requires: analyzing the
+    // composed snapshot (the 4th graph build the union graph avoids).
+    group.bench_function("analyze_composed_snapshot", |b| {
+        b.iter(|| SnapshotAnalysis::analyze(&t12, &store).expect("analyzable"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_target_hashing, bench_conflict_detectors);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end microbenchmarks: one full planner simulation per strategy
+//! (small scale), plus logistic-regression training — the offline cost
+//! the paper pays per model refresh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sq_core::planner::{run_simulation, PlannerConfig};
+use sq_core::predict::LearnedPredictor;
+use sq_core::strategy::{Strategy, StrategyKind};
+use sq_workload::{WorkloadBuilder, WorkloadParams};
+
+fn bench_planner(c: &mut Criterion) {
+    let w = WorkloadBuilder::new(WorkloadParams::ios().with_rate(200.0))
+        .seed(3)
+        .n_changes(100)
+        .build()
+        .expect("valid params");
+    let config = PlannerConfig {
+        workers: 100,
+        ..PlannerConfig::default()
+    };
+    let mut group = c.benchmark_group("planner_simulation_100_changes");
+    group.sample_size(20);
+    for kind in [
+        StrategyKind::Oracle,
+        StrategyKind::SpeculateAll,
+        StrategyKind::Optimistic,
+        StrategyKind::SingleQueue,
+    ] {
+        let strategy = Strategy::build(kind, &w, None);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| run_simulation(&w, &strategy, &config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let history = WorkloadBuilder::new(WorkloadParams::ios())
+        .seed(5)
+        .n_changes(3000)
+        .build()
+        .expect("valid params");
+    let mut group = c.benchmark_group("model_training_3000_changes");
+    group.sample_size(10);
+    group.bench_function("logistic_train_success_and_conflict", |b| {
+        b.iter(|| LearnedPredictor::train(&history, 11));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner, bench_training);
+criterion_main!(benches);

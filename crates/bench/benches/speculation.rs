@@ -1,0 +1,98 @@
+//! Microbenchmarks for the speculation engine: the paper's Section 7.1
+//! requirement is that greedy best-first selection scales to hundreds of
+//! concurrent pending changes without materializing 2ⁿ builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sq_core::analyzer::{ConflictGraph, StatisticalAnalyzer};
+use sq_core::predict::UniformPredictor;
+use sq_core::speculation::SpeculationEngine;
+use sq_workload::{ChangeSpec, WorkloadBuilder, WorkloadParams};
+use std::collections::HashMap;
+
+fn pending_set(n: usize) -> (sq_workload::Workload, ConflictGraph) {
+    let w = WorkloadBuilder::new(WorkloadParams::ios())
+        .seed(7)
+        .n_changes(n)
+        .build()
+        .expect("valid params");
+    let mut analyzer = StatisticalAnalyzer::new();
+    let mut graph = ConflictGraph::new();
+    let mut pending: Vec<&ChangeSpec> = Vec::new();
+    for c in &w.changes {
+        graph.admit(c, &pending, &mut analyzer);
+        pending.push(c);
+    }
+    (w, graph)
+}
+
+fn bench_select_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speculation_select_builds_budget500");
+    for &n in &[50usize, 100, 200, 400] {
+        let (w, graph) = pending_set(n);
+        let pending: Vec<&ChangeSpec> = w.changes.iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                SpeculationEngine::select_builds(
+                    &w,
+                    &pending,
+                    &graph,
+                    &UniformPredictor,
+                    &HashMap::new(),
+                    &HashMap::new(),
+                    500,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit_probabilities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speculation_commit_probabilities");
+    for &n in &[100usize, 400] {
+        let (w, graph) = pending_set(n);
+        let pending: Vec<&ChangeSpec> = w.changes.iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                SpeculationEngine::commit_probabilities(
+                    &w,
+                    &pending,
+                    &graph,
+                    &UniformPredictor,
+                    &HashMap::new(),
+                    &HashMap::new(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_admission(c: &mut Criterion) {
+    c.bench_function("conflict_graph_admit_200th_change", |b| {
+        let w = WorkloadBuilder::new(WorkloadParams::ios())
+            .seed(9)
+            .n_changes(201)
+            .build()
+            .expect("valid params");
+        b.iter(|| {
+            let mut analyzer = StatisticalAnalyzer::new();
+            let mut graph = ConflictGraph::new();
+            let mut pending: Vec<&ChangeSpec> = Vec::new();
+            for c in &w.changes[..200] {
+                graph.admit(c, &pending, &mut analyzer);
+                pending.push(c);
+            }
+            graph.admit(&w.changes[200], &pending, &mut analyzer);
+            graph.len()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_select_builds,
+    bench_commit_probabilities,
+    bench_graph_admission
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Diagnostic: per-strategy run summary at one grid cell (not a paper
+//! figure; used to sanity-check the planner's behaviour).
+
+use sq_core::strategy::StrategyKind;
+
+fn main() {
+    let rate: f64 = std::env::var("R")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300.0);
+    let workers: usize = std::env::var("W")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300.0 as usize);
+    let w = sq_bench::workload_at_rate(rate);
+    let predictor = sq_bench::trained_predictor();
+    println!(
+        "cell: {rate:.0} changes/h, {workers} workers, {} changes over {:.2}h",
+        w.changes.len(),
+        w.horizon().as_hours_f64()
+    );
+    println!(
+        "{:>14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "strategy", "commit", "reject", "p50", "p95", "makespan", "started", "aborted", "util"
+    );
+    for kind in StrategyKind::all() {
+        let strategy = sq_bench::strategy_for(kind, &w, &predictor);
+        let r = sq_bench::run_cell(&w, &strategy, workers, true);
+        let (p50, p95, _) = r.turnaround_p50_p95_p99();
+        println!(
+            "{:>14} {:>9} {:>9} {:>9.1} {:>9.1} {:>8.2}h {:>9} {:>9} {:>8.2}",
+            kind.name(),
+            r.committed(),
+            r.rejected(),
+            p50,
+            p95,
+            r.makespan.as_hours_f64(),
+            r.builds_started,
+            r.builds_aborted,
+            r.utilization
+        );
+    }
+}

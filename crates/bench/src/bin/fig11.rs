@@ -1,0 +1,102 @@
+//! Figure 11: P50/P95/P99 turnaround time normalized against Oracle, on
+//! the {100..500 changes/hour} × {100..500 workers} grid, for
+//! SubmitQueue (a–c), Speculate-all (d–f) and Optimistic (g–i).
+//!
+//! Paper shape: SubmitQueue stays within ~1.2–4× of Oracle and improves
+//! with workers; Speculate-all sits at ~6–24×; Optimistic at ~7–19× and
+//! is insensitive to worker count.
+
+use sq_core::strategy::StrategyKind;
+use std::collections::HashMap;
+
+fn main() {
+    let rates = sq_bench::rates();
+    let workers = sq_bench::worker_counts();
+    let predictor = sq_bench::trained_predictor();
+    let kinds = [
+        StrategyKind::SubmitQueue,
+        StrategyKind::SpeculateAll,
+        StrategyKind::Optimistic,
+    ];
+
+    // (kind, rate, workers) → (p50, p95, p99), raw minutes.
+    let mut raw: HashMap<(&str, u64, usize), (f64, f64, f64)> = HashMap::new();
+    let mut oracle: HashMap<(u64, usize), (f64, f64, f64)> = HashMap::new();
+    for &rate in &rates {
+        let w = sq_bench::workload_at_rate(rate);
+        for &nw in &workers {
+            let o = sq_bench::run_cell(
+                &w,
+                &sq_bench::strategy_for(StrategyKind::Oracle, &w, &predictor),
+                nw,
+                true,
+            );
+            oracle.insert((rate as u64, nw), o.turnaround_p50_p95_p99());
+            for kind in kinds {
+                let r =
+                    sq_bench::run_cell(&w, &sq_bench::strategy_for(kind, &w, &predictor), nw, true);
+                raw.insert((kind.name(), rate as u64, nw), r.turnaround_p50_p95_p99());
+                eprintln!("[fig11] {} rate={rate} workers={nw} done", kind.name());
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for kind in kinds {
+        for (pi, pname) in [(0usize, "P50"), (1, "P95"), (2, "P99")] {
+            sq_bench::print_matrix(
+                &format!(
+                    "{} {} turnaround (normalized vs Oracle)",
+                    kind.name(),
+                    pname
+                ),
+                &rates,
+                &workers,
+                |rate, nw| {
+                    let o = oracle[&(rate as u64, nw)];
+                    let v = raw[&(kind.name(), rate as u64, nw)];
+                    let (ov, vv) = match pi {
+                        0 => (o.0, v.0),
+                        1 => (o.1, v.1),
+                        _ => (o.2, v.2),
+                    };
+                    if ov > 0.0 {
+                        vv / ov
+                    } else {
+                        0.0
+                    }
+                },
+            );
+            for &rate in &rates {
+                for &nw in &workers {
+                    let o = oracle[&(rate as u64, nw)];
+                    let v = raw[&(kind.name(), rate as u64, nw)];
+                    let (ov, vv) = match pi {
+                        0 => (o.0, v.0),
+                        1 => (o.1, v.1),
+                        _ => (o.2, v.2),
+                    };
+                    let norm = if ov > 0.0 { vv / ov } else { 0.0 };
+                    rows.push(format!(
+                        "{},{},{},{},{:.3},{:.2},{:.2}",
+                        kind.name(),
+                        pname,
+                        rate,
+                        nw,
+                        norm,
+                        vv,
+                        ov
+                    ));
+                }
+            }
+        }
+    }
+    sq_bench::write_csv(
+        "fig11.csv",
+        "strategy,percentile,changes_per_hour,workers,normalized,minutes,oracle_minutes",
+        &rows,
+    );
+    println!(
+        "\npaper: SubmitQueue ≈1.2–4×, Speculate-all ≈6–24×, Optimistic ≈7–19× (flat in workers)"
+    );
+}

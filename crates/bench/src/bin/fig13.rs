@@ -1,0 +1,67 @@
+//! Figure 13: P95 turnaround-time improvement from the conflict analyzer
+//! (1 − with/without), vs workers, at 300/400/500 changes/hour, for all
+//! approaches.
+//!
+//! Paper shape: Oracle improves up to ~60%; SubmitQueue and Speculate-all
+//! benefit substantially; Optimistic only ~20% and flat; deep build
+//! graphs limit the benefit (Section 8.4).
+
+use sq_core::strategy::StrategyKind;
+
+fn main() {
+    let rates: Vec<f64> = sq_bench::rates()
+        .into_iter()
+        .filter(|&r| r >= 300.0)
+        .collect();
+    let rates = if rates.is_empty() { vec![300.0] } else { rates };
+    let workers = sq_bench::worker_counts();
+    let predictor = sq_bench::trained_predictor();
+    let kinds = [
+        StrategyKind::SubmitQueue,
+        StrategyKind::Oracle,
+        StrategyKind::SpeculateAll,
+        StrategyKind::Optimistic,
+        StrategyKind::SingleQueue,
+    ];
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        let w = sq_bench::workload_at_rate(rate);
+        println!(
+            "\n=== Figure 13 — P95 turnaround improvement with conflict analyzer @ {rate:.0}/h ==="
+        );
+        print!("{:>14} |", "strategy");
+        for &nw in &workers {
+            print!(" {nw:>8}");
+        }
+        println!("  (workers)");
+        println!("{}", "-".repeat(16 + 9 * workers.len()));
+        for kind in kinds {
+            print!("{:>14} |", kind.name());
+            for &nw in &workers {
+                let strategy = sq_bench::strategy_for(kind, &w, &predictor);
+                let with = sq_bench::run_cell(&w, &strategy, nw, true);
+                let without = sq_bench::run_cell(&w, &strategy, nw, false);
+                let (_, p95_with, _) = with.turnaround_p50_p95_p99();
+                let (_, p95_without, _) = without.turnaround_p50_p95_p99();
+                let improvement = if p95_without > 0.0 {
+                    (1.0 - p95_with / p95_without).max(0.0)
+                } else {
+                    0.0
+                };
+                print!(" {improvement:>8.2}");
+                rows.push(format!(
+                    "{},{rate},{nw},{improvement:.3},{p95_with:.2},{p95_without:.2}",
+                    kind.name()
+                ));
+            }
+            println!();
+            eprintln!("[fig13] {} rate={rate} done", kind.name());
+        }
+    }
+    sq_bench::write_csv(
+        "fig13.csv",
+        "strategy,changes_per_hour,workers,p95_improvement,p95_with,p95_without",
+        &rows,
+    );
+    println!("\npaper: Oracle up to 0.6; Optimistic ~0.2 and flat in workers");
+}

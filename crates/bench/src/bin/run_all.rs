@@ -1,0 +1,59 @@
+//! Run every figure binary in sequence (convenience wrapper) by invoking
+//! the sibling executables. Useful for regenerating the complete
+//! EXPERIMENTS.md evidence in one command:
+//!
+//! ```bash
+//! cargo run --release -p sq-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig01",
+    "fig02",
+    "fig05_08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "model_eval",
+    "graph_change_rate",
+    "ablation_s10",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        println!("\n━━━━━━━━━━━━━━━━ {name} ━━━━━━━━━━━━━━━━");
+        let path = bin_dir.join(name);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo (slower, but works from any directory).
+            Command::new("cargo")
+                .args(["run", "--release", "-p", "sq-bench", "--bin", name])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to launch: {e}");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall figures regenerated; CSVs in target/figures/");
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

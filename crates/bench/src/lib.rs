@@ -1,0 +1,233 @@
+//! # sq-bench — figure regeneration harness
+//!
+//! One binary per figure of the paper's evaluation (Section 8) plus the
+//! Section 2 motivation curves and the Section 7.2 model report:
+//!
+//! | binary              | paper figure/claim                                  |
+//! |---------------------|-----------------------------------------------------|
+//! | `fig01`             | P(real conflict) vs concurrent conflicting changes  |
+//! | `fig02`             | P(breakage) vs change staleness                     |
+//! | `fig05_08`          | speculation trees/graphs + Fig. 8 counterexample    |
+//! | `fig09`             | CDF of build durations                              |
+//! | `fig10`             | CDF of Oracle turnaround at 100..500 changes/h      |
+//! | `fig11`             | P50/P95/P99 turnaround grids normalized vs Oracle   |
+//! | `fig12`             | normalized average throughput                       |
+//! | `fig13`             | P95 turnaround improvement from conflict analyzer   |
+//! | `fig14`             | mainline green rate before SubmitQueue              |
+//! | `model_eval`        | §7.2: accuracy, top features, RFE                   |
+//! | `graph_change_rate` | §5.2: fraction of changes altering the build graph  |
+//!
+//! Every binary prints the series to stdout and writes a CSV to
+//! `target/figures/`. Environment knobs: `SQ_BENCH_HOURS` (simulated
+//! arrival hours per cell, default 3), `SQ_BENCH_SEED`, `SQ_BENCH_QUICK=1`
+//! (shrink grids for smoke runs), `SQ_BENCH_RATES`/`SQ_BENCH_WORKERS`
+//! (comma-separated axis overrides, e.g. `SQ_BENCH_RATES=300` for one
+//! paper panel).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sq_core::planner::{run_simulation, PlannerConfig, SimResult};
+use sq_core::predict::LearnedPredictor;
+use sq_core::strategy::{Strategy, StrategyKind};
+use sq_workload::{Workload, WorkloadBuilder, WorkloadParams};
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Simulated hours of arrivals per grid cell.
+pub fn bench_hours() -> f64 {
+    if quick() {
+        1.0
+    } else {
+        std::env::var("SQ_BENCH_HOURS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3.0)
+    }
+}
+
+/// Master seed for all workloads.
+pub fn bench_seed() -> u64 {
+    std::env::var("SQ_BENCH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED)
+}
+
+/// Quick-mode flag for smoke runs.
+pub fn quick() -> bool {
+    std::env::var("SQ_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// The rate axis of the paper's grids (changes/hour). Override with a
+/// comma-separated `SQ_BENCH_RATES` (e.g. `SQ_BENCH_RATES=300` to run a
+/// single paper panel).
+pub fn rates() -> Vec<f64> {
+    if let Ok(raw) = std::env::var("SQ_BENCH_RATES") {
+        let parsed: Vec<f64> = raw
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&r| r > 0.0)
+            .collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    if quick() {
+        vec![100.0, 300.0]
+    } else {
+        vec![100.0, 200.0, 300.0, 400.0, 500.0]
+    }
+}
+
+/// The worker axis of the paper's grids. Override with a comma-separated
+/// `SQ_BENCH_WORKERS`.
+pub fn worker_counts() -> Vec<usize> {
+    if let Ok(raw) = std::env::var("SQ_BENCH_WORKERS") {
+        let parsed: Vec<usize> = raw
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&w| w > 0)
+            .collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    if quick() {
+        vec![100, 300]
+    } else {
+        vec![100, 200, 300, 400, 500]
+    }
+}
+
+/// Where figure CSVs land.
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from(env_target_dir()).join("figures");
+    fs::create_dir_all(&dir).expect("create figures dir");
+    dir
+}
+
+fn env_target_dir() -> String {
+    std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string())
+}
+
+/// Write a CSV (plus announce the path on stdout).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = figures_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    println!("\n[csv] {}", path.display());
+}
+
+/// Build the controlled-replay workload for a given ingestion rate
+/// (Section 8.1: same changes, different rates).
+pub fn workload_at_rate(rate: f64) -> Workload {
+    WorkloadBuilder::new(WorkloadParams::ios().with_rate(rate))
+        .seed(bench_seed())
+        .duration_hours(bench_hours())
+        .build()
+        .expect("valid workload params")
+}
+
+/// The training history for SubmitQueue's models (disjoint seed).
+pub fn training_history() -> Workload {
+    let n = if quick() { 3_000 } else { 10_000 };
+    WorkloadBuilder::new(WorkloadParams::ios())
+        .seed(bench_seed() ^ 0xA11CE)
+        .n_changes(n)
+        .build()
+        .expect("valid workload params")
+}
+
+/// Train the SubmitQueue predictor once for the whole grid.
+pub fn trained_predictor() -> LearnedPredictor {
+    let history = training_history();
+    let (p, _) = LearnedPredictor::train(&history, bench_seed());
+    p
+}
+
+/// Instantiate a strategy for a workload, reusing a trained predictor.
+pub fn strategy_for(
+    kind: StrategyKind,
+    workload: &Workload,
+    predictor: &LearnedPredictor,
+) -> Strategy {
+    match kind {
+        StrategyKind::SubmitQueue => Strategy::submit_queue_with(predictor.clone()),
+        _ => Strategy::build(kind, workload, None),
+    }
+}
+
+/// Run one grid cell.
+pub fn run_cell(
+    workload: &Workload,
+    strategy: &Strategy,
+    workers: usize,
+    conflict_analyzer: bool,
+) -> SimResult {
+    let config = PlannerConfig {
+        workers,
+        conflict_analyzer,
+        ..PlannerConfig::default()
+    };
+    run_simulation(workload, strategy, &config)
+}
+
+/// Render a rate × workers matrix the way the paper's heatmaps read:
+/// rows = changes/hour (descending), columns = workers (ascending).
+pub fn print_matrix(
+    title: &str,
+    rates: &[f64],
+    workers: &[usize],
+    cell: impl Fn(f64, usize) -> f64,
+) {
+    println!("\n=== {title} ===");
+    print!("{:>14} |", "#changes/hour");
+    for &w in workers {
+        print!(" {w:>8}");
+    }
+    println!("  (workers)");
+    println!("{}", "-".repeat(16 + 9 * workers.len()));
+    for &r in rates.iter().rev() {
+        print!("{r:>14.0} |",);
+        for &w in workers {
+            print!(" {:>8.2}", cell(r, w));
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_have_sane_defaults() {
+        assert!(bench_hours() > 0.0);
+        assert!(!rates().is_empty());
+        assert!(!worker_counts().is_empty());
+    }
+
+    #[test]
+    fn workload_rate_is_respected() {
+        let w = workload_at_rate(200.0);
+        assert!(!w.changes.is_empty());
+        assert!((w.params.changes_per_hour - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_cell_smoke() {
+        let w = WorkloadBuilder::new(WorkloadParams::ios().with_rate(100.0))
+            .seed(1)
+            .n_changes(30)
+            .build()
+            .unwrap();
+        let strategy = Strategy::build(StrategyKind::Oracle, &w, None);
+        let r = run_cell(&w, &strategy, 50, true);
+        assert_eq!(r.records.len(), 30);
+    }
+}

@@ -1,0 +1,342 @@
+//! The conflict analyzer and the conflict graph (paper Section 5).
+//!
+//! The analyzer answers "do changes Cᵢ and Cⱼ conflict?"; the graph
+//! accumulates those answers over the pending set so the speculation
+//! engine can (1) trim the speculation space and (2) find independent
+//! changes that commit in parallel.
+//!
+//! Two analyzer backends:
+//! * [`StatisticalAnalyzer`] — the simulation backend: conflicts are the
+//!   workload's part-overlap relation. With the analyzer *disabled* it
+//!   reports every pair as conflicting, which reproduces the Section 4
+//!   "assume all pending changes conflict" regime that Figure 13
+//!   ablates against.
+//! * [`RealAnalyzer`] — the full Section 5.2 pipeline over a materialized
+//!   repository: textual merge check, fast-path name intersection, and
+//!   the union-graph algorithm, with per-pair memoization.
+
+use sq_build::conflict::{changes_conflict, ConflictVerdict};
+use sq_vcs::{ObjectStore, Patch, Tree};
+use sq_workload::{ChangeId, ChangeSpec};
+use std::collections::{BTreeSet, HashMap};
+
+/// A backend that decides whether two changes conflict.
+pub trait ConflictAnalyzer {
+    /// True iff the two changes must be serialized (cannot commit in
+    /// parallel, and speculation about one affects the other).
+    fn conflicts(&mut self, a: &ChangeSpec, b: &ChangeSpec) -> bool;
+}
+
+/// The statistical backend used by the discrete-event simulations.
+#[derive(Debug, Clone)]
+pub struct StatisticalAnalyzer {
+    enabled: bool,
+}
+
+impl StatisticalAnalyzer {
+    /// An analyzer that detects independence via part overlap.
+    pub fn new() -> Self {
+        StatisticalAnalyzer { enabled: true }
+    }
+
+    /// The ablation of Figure 13: analyzer off ⇒ every pair conflicts.
+    pub fn disabled() -> Self {
+        StatisticalAnalyzer { enabled: false }
+    }
+}
+
+impl Default for StatisticalAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConflictAnalyzer for StatisticalAnalyzer {
+    fn conflicts(&mut self, a: &ChangeSpec, b: &ChangeSpec) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        a.potentially_conflicts(b)
+    }
+}
+
+/// The full build-system-backed analyzer over concrete patches.
+pub struct RealAnalyzer {
+    base_tree: Tree,
+    store: ObjectStore,
+    patches: HashMap<ChangeId, Patch>,
+    cache: HashMap<(ChangeId, ChangeId), bool>,
+}
+
+impl RealAnalyzer {
+    /// Create over a base snapshot; patches are registered per change.
+    pub fn new(base_tree: Tree, store: ObjectStore) -> Self {
+        RealAnalyzer {
+            base_tree,
+            store,
+            patches: HashMap::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Register the concrete patch of a change.
+    pub fn register(&mut self, id: ChangeId, patch: Patch) {
+        self.patches.insert(id, patch);
+    }
+
+    /// Drop a change's patch and cached verdicts (it resolved).
+    pub fn forget(&mut self, id: ChangeId) {
+        self.patches.remove(&id);
+        self.cache.retain(|(a, b), _| *a != id && *b != id);
+    }
+
+    /// Verdict with full detail (textual vs. target conflict).
+    pub fn verdict(&mut self, a: ChangeId, b: ChangeId) -> Option<ConflictVerdict> {
+        let pa = self.patches.get(&a)?.clone();
+        let pb = self.patches.get(&b)?.clone();
+        Some(
+            changes_conflict(&self.base_tree, &mut self.store, &pa, &pb)
+                .unwrap_or(ConflictVerdict::TextualConflict),
+        )
+    }
+}
+
+impl ConflictAnalyzer for RealAnalyzer {
+    fn conflicts(&mut self, a: &ChangeSpec, b: &ChangeSpec) -> bool {
+        let key = if a.id.0 <= b.id.0 {
+            (a.id, b.id)
+        } else {
+            (b.id, a.id)
+        };
+        if let Some(&v) = self.cache.get(&key) {
+            return v;
+        }
+        // Unregistered patches are treated as conflicting (conservative:
+        // never parallel-commit something we cannot analyze).
+        let v = self
+            .verdict(key.0, key.1)
+            .is_none_or(|verdict| verdict.is_conflict());
+        self.cache.insert(key, v);
+        v
+    }
+}
+
+/// The conflict graph over the current pending set.
+///
+/// Nodes are pending changes; an edge means "must serialize". The graph
+/// is maintained incrementally: one analyzer query per (new change ×
+/// pending change) on admission, removal on resolution.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictGraph {
+    adj: HashMap<ChangeId, BTreeSet<ChangeId>>,
+}
+
+impl ConflictGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending changes tracked.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True iff no changes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// True iff the change is tracked.
+    pub fn contains(&self, id: ChangeId) -> bool {
+        self.adj.contains_key(&id)
+    }
+
+    /// Admit a change, querying `analyzer` against every tracked change.
+    pub fn admit<A: ConflictAnalyzer>(
+        &mut self,
+        change: &ChangeSpec,
+        pending: &[&ChangeSpec],
+        analyzer: &mut A,
+    ) {
+        let mut edges = BTreeSet::new();
+        for other in pending {
+            if other.id == change.id || !self.adj.contains_key(&other.id) {
+                continue;
+            }
+            if analyzer.conflicts(change, other) {
+                edges.insert(other.id);
+            }
+        }
+        for e in &edges {
+            self.adj
+                .get_mut(e)
+                .expect("edge endpoint tracked")
+                .insert(change.id);
+        }
+        self.adj.insert(change.id, edges);
+    }
+
+    /// Remove a resolved change.
+    pub fn remove(&mut self, id: ChangeId) {
+        if let Some(edges) = self.adj.remove(&id) {
+            for e in edges {
+                if let Some(set) = self.adj.get_mut(&e) {
+                    set.remove(&id);
+                }
+            }
+        }
+    }
+
+    /// All conflicting neighbours of `id`.
+    pub fn neighbors(&self, id: ChangeId) -> impl Iterator<Item = ChangeId> + '_ {
+        self.adj.get(&id).into_iter().flatten().copied()
+    }
+
+    /// `D_i`: the conflicting neighbours submitted *before* `id`
+    /// (submission order = id order). This is the set the speculation
+    /// engine's outcome patterns range over.
+    pub fn earlier_conflicts(&self, id: ChangeId) -> Vec<ChangeId> {
+        self.adj
+            .get(&id)
+            .map(|set| set.iter().copied().filter(|e| *e < id).collect())
+            .unwrap_or_default()
+    }
+
+    /// True iff the two tracked changes are independent (no edge).
+    pub fn independent(&self, a: ChangeId, b: ChangeId) -> bool {
+        self.adj.get(&a).is_some_and(|set| !set.contains(&b))
+    }
+
+    /// Total edges (each counted once).
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(|s| s.len()).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sq_workload::{WorkloadBuilder, WorkloadParams};
+
+    fn workload(n: usize) -> sq_workload::Workload {
+        WorkloadBuilder::new(WorkloadParams::ios())
+            .seed(9)
+            .n_changes(n)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn statistical_analyzer_tracks_part_overlap() {
+        let w = workload(100);
+        let mut on = StatisticalAnalyzer::new();
+        let mut off = StatisticalAnalyzer::disabled();
+        let mut agreement = 0;
+        for pair in w.changes.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert_eq!(on.conflicts(a, b), a.potentially_conflicts(b));
+            assert!(
+                off.conflicts(a, b),
+                "disabled analyzer conflicts everything"
+            );
+            if on.conflicts(a, b) {
+                agreement += 1;
+            }
+        }
+        // Sanity: not everything overlaps.
+        assert!(agreement < 99);
+    }
+
+    #[test]
+    fn graph_admission_builds_edges_both_ways() {
+        let w = workload(50);
+        let mut analyzer = StatisticalAnalyzer::disabled(); // full clique
+        let mut g = ConflictGraph::new();
+        let mut pending: Vec<&sq_workload::ChangeSpec> = Vec::new();
+        for c in &w.changes[..5] {
+            g.admit(c, &pending, &mut analyzer);
+            pending.push(c);
+        }
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 10); // K5
+        let d = g.earlier_conflicts(w.changes[4].id);
+        assert_eq!(d.len(), 4);
+        // Symmetry: the first change sees the last as a (later) neighbour.
+        assert!(g.neighbors(w.changes[0].id).any(|n| n == w.changes[4].id));
+    }
+
+    #[test]
+    fn graph_removal_cleans_both_endpoints() {
+        let w = workload(10);
+        let mut analyzer = StatisticalAnalyzer::disabled();
+        let mut g = ConflictGraph::new();
+        let mut pending: Vec<&sq_workload::ChangeSpec> = Vec::new();
+        for c in &w.changes[..3] {
+            g.admit(c, &pending, &mut analyzer);
+            pending.push(c);
+        }
+        g.remove(w.changes[1].id);
+        assert_eq!(g.len(), 2);
+        assert!(!g.contains(w.changes[1].id));
+        assert!(g.neighbors(w.changes[0].id).all(|n| n != w.changes[1].id));
+        assert_eq!(g.earlier_conflicts(w.changes[2].id), vec![w.changes[0].id]);
+    }
+
+    #[test]
+    fn independence_reflects_analyzer() {
+        let w = workload(200);
+        let mut analyzer = StatisticalAnalyzer::new();
+        let mut g = ConflictGraph::new();
+        let mut pending: Vec<&sq_workload::ChangeSpec> = Vec::new();
+        for c in &w.changes[..20] {
+            g.admit(c, &pending, &mut analyzer);
+            pending.push(c);
+        }
+        for i in 0..20 {
+            for j in (i + 1)..20 {
+                let (a, b) = (&w.changes[i], &w.changes[j]);
+                assert_eq!(
+                    g.independent(a.id, b.id),
+                    !a.potentially_conflicts(b),
+                    "pair ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_analyzer_full_stack() {
+        use sq_workload::repo_model::MaterializedRepo;
+        let mut params = WorkloadParams::ios();
+        params.n_parts = 10;
+        let m = MaterializedRepo::generate(&params).unwrap();
+        let w = WorkloadBuilder::new(params)
+            .seed(3)
+            .n_changes(30)
+            .build()
+            .unwrap();
+        let tree = m.repo.head_tree().unwrap();
+        let mut analyzer = RealAnalyzer::new(tree, m.repo.store().clone());
+        for c in &w.changes {
+            analyzer.register(c.id, m.patch_for(c));
+        }
+        // Cross-check against the statistical relation on a sample: part
+        // overlap must imply a real-analyzer conflict (same package ⇒
+        // same targets), and the analyzer result must be symmetric.
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let (a, b) = (&w.changes[i], &w.changes[j]);
+                let v1 = analyzer.conflicts(a, b);
+                let v2 = analyzer.conflicts(b, a);
+                assert_eq!(v1, v2);
+                if a.potentially_conflicts(b) {
+                    assert!(v1, "same-part changes must conflict ({i}, {j})");
+                }
+            }
+        }
+        // Forgetting drops the cache and patch.
+        analyzer.forget(w.changes[0].id);
+        assert!(analyzer.verdict(w.changes[0].id, w.changes[1].id).is_none());
+    }
+}

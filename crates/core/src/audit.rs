@@ -1,0 +1,195 @@
+//! Greenness audits.
+//!
+//! "A mainline is called green if all build steps can successfully
+//! execute for every commit point in the history" (Section 1). The
+//! simulator doesn't *assume* SubmitQueue achieves this — after every
+//! run, the commit log is replayed against the ground truth:
+//!
+//! 1. every committed change must pass its build steps in isolation;
+//! 2. no two committed changes that were *concurrently in flight* may
+//!    really conflict (a change submitted after another committed was
+//!    developed against a HEAD already containing it, so only
+//!    overlapping windows can break a commit point).
+
+use crate::planner::SimResult;
+use sq_sim::SimTime;
+use sq_workload::{ChangeId, Workload};
+use std::collections::HashMap;
+
+/// Verify the always-green invariant for a finished run.
+///
+/// Returns `Err` with a human-readable description of the first red
+/// commit point found.
+pub fn audit_green(workload: &Workload, result: &SimResult) -> Result<(), String> {
+    let truth = workload.truth();
+    let resolved_at: HashMap<ChangeId, SimTime> =
+        result.records.iter().map(|r| (r.id, r.resolved)).collect();
+    let spec = |id: ChangeId| &workload.changes[id.0 as usize];
+    for (k, &c_id) in result.commit_log.iter().enumerate() {
+        let c = spec(c_id);
+        if !truth.succeeds_alone(c) {
+            return Err(format!(
+                "commit #{k} ({c_id}) fails its own build steps — red mainline"
+            ));
+        }
+        for &d_id in &result.commit_log[..k] {
+            let d = spec(d_id);
+            let d_committed = resolved_at
+                .get(&d_id)
+                .copied()
+                .ok_or_else(|| format!("{d_id} committed but has no record"))?;
+            // Concurrency window: c was already submitted when d landed.
+            if c.submit_time < d_committed && truth.real_conflict(c, d) {
+                return Err(format!(
+                    "commit #{k} ({c_id}) really conflicts with earlier commit {d_id} \
+                     — composing them breaks the mainline"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Count how many commit points would be red in a commit log (used by
+/// the trunk-based baseline where breakage is expected).
+pub fn count_red_commits(workload: &Workload, commit_log: &[ChangeId]) -> usize {
+    let truth = workload.truth();
+    let spec = |id: ChangeId| &workload.changes[id.0 as usize];
+    let mut red = 0;
+    for (k, &c_id) in commit_log.iter().enumerate() {
+        let c = spec(c_id);
+        let broken = !truth.succeeds_alone(c)
+            || commit_log[..k]
+                .iter()
+                .any(|&d_id| truth.real_conflict(c, spec(d_id)));
+        if broken {
+            red += 1;
+        }
+    }
+    red
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pending::{ChangeOutcome, ChangeRecord};
+    use crate::strategy::StrategyKind;
+    use sq_workload::{WorkloadBuilder, WorkloadParams};
+
+    fn workload(n: usize, seed: u64) -> Workload {
+        WorkloadBuilder::new(WorkloadParams::ios())
+            .seed(seed)
+            .n_changes(n)
+            .build()
+            .unwrap()
+    }
+
+    fn result_with(w: &Workload, log: Vec<ChangeId>) -> SimResult {
+        let records = w
+            .changes
+            .iter()
+            .map(|c| {
+                ChangeRecord::new(
+                    c.id,
+                    c.submit_time,
+                    SimTime::from_hours(1000), // everything resolved late
+                    if log.contains(&c.id) {
+                        ChangeOutcome::Committed
+                    } else {
+                        ChangeOutcome::Rejected
+                    },
+                    1,
+                    0,
+                )
+            })
+            .collect();
+        SimResult {
+            strategy: StrategyKind::Oracle,
+            records,
+            commit_log: log,
+            makespan: SimTime::from_hours(1000),
+            builds_started: 0,
+            builds_aborted: 0,
+            utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_log_is_green() {
+        let w = workload(10, 1);
+        audit_green(&w, &result_with(&w, vec![])).unwrap();
+    }
+
+    #[test]
+    fn intrinsically_broken_commit_is_red() {
+        let w = workload(300, 2);
+        let broken = w
+            .changes
+            .iter()
+            .find(|c| !c.intrinsic_success)
+            .expect("some change fails");
+        let err = audit_green(&w, &result_with(&w, vec![broken.id])).unwrap_err();
+        assert!(err.contains("fails its own build steps"));
+    }
+
+    #[test]
+    fn conflicting_concurrent_commits_are_red() {
+        let w = workload(3000, 3);
+        let truth = w.truth();
+        // Find a really-conflicting pair of individually-good changes.
+        let mut found = None;
+        'outer: for (i, a) in w.changes.iter().enumerate() {
+            if !a.intrinsic_success {
+                continue;
+            }
+            for b in &w.changes[i + 1..] {
+                if b.intrinsic_success && truth.real_conflict(a, b) {
+                    found = Some((a.id, b.id));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = found.expect("workload contains a conflicting pair");
+        // Committing both (with everything resolved after all arrivals,
+        // so the windows overlap) must be flagged.
+        let err = audit_green(&w, &result_with(&w, vec![a, b])).unwrap_err();
+        assert!(err.contains("really conflicts"), "err = {err}");
+    }
+
+    #[test]
+    fn committing_only_good_independent_changes_is_green() {
+        let w = workload(500, 4);
+        let truth = w.truth();
+        // Greedily build a conflict-free prefix of good changes.
+        let mut log: Vec<ChangeId> = Vec::new();
+        for c in &w.changes {
+            if !c.intrinsic_success {
+                continue;
+            }
+            if log
+                .iter()
+                .all(|&d| !truth.real_conflict(c, &w.changes[d.0 as usize]))
+            {
+                log.push(c.id);
+            }
+            if log.len() >= 100 {
+                break;
+            }
+        }
+        audit_green(&w, &result_with(&w, log)).unwrap();
+    }
+
+    #[test]
+    fn count_red_commits_counts() {
+        let w = workload(300, 5);
+        let bad: Vec<ChangeId> = w
+            .changes
+            .iter()
+            .filter(|c| !c.intrinsic_success)
+            .take(3)
+            .map(|c| c.id)
+            .collect();
+        assert!(count_red_commits(&w, &bad) >= 3);
+        assert_eq!(count_red_commits(&w, &[]), 0);
+    }
+}

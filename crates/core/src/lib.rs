@@ -1,0 +1,63 @@
+//! # sq-core — SubmitQueue
+//!
+//! The paper's primary contribution: a change-management system that
+//! keeps a monorepo mainline *always green* at scale by totally ordering
+//! changes (not just patches), while hitting turnaround-time SLAs through
+//! probabilistic speculation and conflict analysis.
+//!
+//! Architecture (paper Figure 4):
+//!
+//! ```text
+//!   land(change) ──► queue ──► PLANNER ENGINE ──► BUILD CONTROLLER ──► workers
+//!                                 │    ▲
+//!                   SPECULATION ◄─┘    └─► commit / abort
+//!                     ENGINE ◄── CONFLICT ANALYZER (conflict graph)
+//! ```
+//!
+//! * [`pending`] — pending-change state machine and commit/abort records.
+//! * [`predict`] — `P_succ` / `P_conf` estimators: the trained logistic
+//!   models (Section 7.2), plus oracle / static / optimistic estimators
+//!   used by the baselines.
+//! * [`analyzer`] — the conflict graph over pending changes (Section 5),
+//!   backed either by the statistical part-overlap model (simulation) or
+//!   by the real build-system analyzer from `sq-build`.
+//! * [`speculation`] — the speculation engine (Section 4): build values
+//!   `V = B · P_needed` per Equations 1–5, and greedy best-first
+//!   selection of the most valuable builds in O(n) frontier space
+//!   (Section 7.1).
+//! * [`strategy`] — SubmitQueue plus every baseline evaluated in
+//!   Section 8: Speculate-all, Optimistic (Zuul), Single-Queue (Bors),
+//!   and the Oracle used for normalization.
+//! * [`planner`] — the planner engine driving a discrete-event
+//!   simulation: schedules/aborts builds, commits changes, measures
+//!   turnaround and throughput.
+//! * [`trunk`] — the *pre*-SubmitQueue world of Figure 14: trunk-based
+//!   development with post-submit detection and manual reverts.
+//! * [`batching`] — the Section 10 batch-and-bisect extension (batching
+//!   independent changes to save hardware).
+//! * [`audit`] — ground-truth greenness audits (the "always green"
+//!   invariant is checked, not assumed).
+//! * [`service`] — an embeddable `SubmitQueueService` that runs the full
+//!   stack (real conflict analyzer, real executor) over a materialized
+//!   repository.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod audit;
+pub mod batching;
+pub mod pending;
+pub mod planner;
+pub mod predict;
+pub mod service;
+pub mod speculation;
+pub mod strategy;
+pub mod trunk;
+
+pub use analyzer::{ConflictAnalyzer, ConflictGraph};
+pub use pending::{ChangeOutcome, ChangeRecord};
+pub use planner::{run_simulation, PlannerConfig, SimResult};
+pub use predict::{LearnedPredictor, OraclePredictor, Predictor};
+pub use speculation::{BuildKey, SpeculationEngine};
+pub use strategy::StrategyKind;

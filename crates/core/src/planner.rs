@@ -1,0 +1,1085 @@
+//! The planner engine (paper Section 6) driving a discrete-event
+//! simulation of the whole system.
+//!
+//! On every event (change arrival, build completion) the planner:
+//!
+//! 1. re-queries the strategy for the prioritized list of desired builds
+//!    (the paper's planner contacts the speculation engine "on every
+//!    epoch"; we replan event-driven, which is the epoch limit → 0),
+//! 2. **aborts** running builds that are no longer in the desired list,
+//! 3. **schedules** new desired builds while workers are available,
+//! 4. **commits or rejects** changes whose gating build result is known:
+//!    a change resolves once every earlier conflicting change has
+//!    resolved and the build against the exact committed prefix has
+//!    finished — the serializability rule that keeps the mainline green.
+//!
+//! Build outcomes come from the workload's ground truth, so every
+//! strategy replays the identical reality; the audit module then verifies
+//! the headline invariant (an always-green commit log) after the fact.
+
+use crate::analyzer::{ConflictGraph, StatisticalAnalyzer};
+use crate::pending::{ChangeOutcome, ChangeRecord};
+use crate::predict::SpeculationCounters;
+use crate::speculation::BuildKey;
+use crate::strategy::{Strategy, StrategyKind};
+use sq_exec::WorkerPool;
+use sq_sim::{run as run_des, EventQueue, Scheduler, SimDuration, SimTime};
+use sq_workload::{ChangeId, ChangeSpec, GroundTruth, Workload};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Planner configuration.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Worker fleet size (each build occupies one worker).
+    pub workers: usize,
+    /// Whether the conflict analyzer is enabled (Figure 13 ablates this;
+    /// disabled ⇒ every pair of pending changes is treated as
+    /// conflicting, the Section 4 baseline assumption).
+    pub conflict_analyzer: bool,
+    /// Fixed scheduling/fetch overhead added to every build.
+    pub build_overhead: SimDuration,
+    /// Safety valve on simulation events.
+    pub max_events: u64,
+    /// Section 10 "Change Reordering": when enabled, a change may commit
+    /// as soon as its build against the *current* committed prefix
+    /// succeeds, even if earlier conflicting changes are still pending —
+    /// small changes no longer wait behind a large refactor. The paper
+    /// flags the starvation/fairness tradeoff; the greedy policy here
+    /// surfaces it as increased aborted-build counts for the overtaken
+    /// changes.
+    pub reorder: bool,
+    /// Section 10 "Build Preemption": when set, a running build whose
+    /// progress fraction is at least this value is never preempted for a
+    /// gating build ("if a build is near its completion, it might be
+    /// beneficial to continue running its build steps").
+    pub preemption_guard: Option<f64>,
+    /// Section 6 epochs: when set, the planner contacts the speculation
+    /// engine only every `epoch` of simulated time instead of on every
+    /// event ("the planner engine contacts the speculation engine on
+    /// every epoch"). `None` replans event-driven (epoch → 0), which is
+    /// strictly more reactive; the ablation quantifies what longer
+    /// epochs cost.
+    pub epoch: Option<SimDuration>,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            workers: 100,
+            conflict_analyzer: true,
+            build_overhead: SimDuration::from_secs(60),
+            max_events: 50_000_000,
+            reorder: false,
+            preemption_guard: None,
+            epoch: None,
+        }
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The policy that ran.
+    pub strategy: StrategyKind,
+    /// Per-change records, in resolution order.
+    pub records: Vec<ChangeRecord>,
+    /// Commit log: change ids in mainline order.
+    pub commit_log: Vec<ChangeId>,
+    /// Simulated time when the last change resolved.
+    pub makespan: SimTime,
+    /// Builds started / aborted (wasted work measure).
+    pub builds_started: u64,
+    /// Builds aborted before finishing.
+    pub builds_aborted: u64,
+    /// Mean worker utilization over the run.
+    pub utilization: f64,
+}
+
+impl SimResult {
+    /// Committed change count.
+    pub fn committed(&self) -> usize {
+        self.commit_log.len()
+    }
+
+    /// Rejected change count.
+    pub fn rejected(&self) -> usize {
+        self.records.len() - self.commit_log.len()
+    }
+
+    /// Turnaround percentiles in minutes: (P50, P95, P99).
+    pub fn turnaround_p50_p95_p99(&self) -> (f64, f64, f64) {
+        let mut p = sq_sim::Percentiles::with_capacity(self.records.len());
+        for r in &self.records {
+            p.push(r.turnaround.as_mins_f64());
+        }
+        p.p50_p95_p99().unwrap_or((0.0, 0.0, 0.0))
+    }
+
+    /// Mean turnaround in minutes.
+    pub fn mean_turnaround_mins(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(|r| r.turnaround.as_mins_f64())
+            .sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// Average commit throughput in changes/hour over the makespan.
+    pub fn throughput_per_hour(&self) -> f64 {
+        let hours = self.makespan.as_hours_f64();
+        if hours <= 0.0 {
+            return 0.0;
+        }
+        self.committed() as f64 / hours
+    }
+
+    /// Sustained commit throughput: the rate over the inter-quartile
+    /// window of commit times. Robust to the warm-up ramp and to the
+    /// drain-phase stragglers at the end of a finite replay, which is
+    /// what the paper's steady-state "average throughput" reports.
+    pub fn sustained_throughput_per_hour(&self) -> f64 {
+        let mut commit_times: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| matches!(r.outcome, crate::pending::ChangeOutcome::Committed))
+            .map(|r| r.resolved.as_hours_f64())
+            .collect();
+        if commit_times.len() < 4 {
+            return self.throughput_per_hour();
+        }
+        commit_times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let n = commit_times.len();
+        let t25 = commit_times[n / 4];
+        let t75 = commit_times[(3 * n) / 4];
+        let span = t75 - t25;
+        if span <= 1e-9 {
+            return self.throughput_per_hour();
+        }
+        (n as f64 / 2.0) / span
+    }
+
+    /// Turnaround values in minutes (for CDFs).
+    pub fn turnarounds_mins(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.turnaround.as_mins_f64())
+            .collect()
+    }
+}
+
+/// Run a strategy over a workload.
+///
+/// ```
+/// use sq_core::planner::{run_simulation, PlannerConfig};
+/// use sq_core::strategy::{Strategy, StrategyKind};
+/// use sq_workload::{WorkloadBuilder, WorkloadParams};
+///
+/// let workload = WorkloadBuilder::new(WorkloadParams::ios().with_rate(100.0))
+///     .seed(1)
+///     .n_changes(20)
+///     .build()
+///     .unwrap();
+/// let oracle = Strategy::build(StrategyKind::Oracle, &workload, None);
+/// let result = run_simulation(&workload, &oracle, &PlannerConfig::default());
+/// assert_eq!(result.records.len(), 20);
+/// sq_core::audit::audit_green(&workload, &result).unwrap();
+/// ```
+pub fn run_simulation(
+    workload: &Workload,
+    strategy: &Strategy,
+    config: &PlannerConfig,
+) -> SimResult {
+    let analyzer = if config.conflict_analyzer {
+        StatisticalAnalyzer::new()
+    } else {
+        StatisticalAnalyzer::disabled()
+    };
+    let mut sim = Planner {
+        workload,
+        truth: workload.truth(),
+        strategy,
+        config: config.clone(),
+        analyzer,
+        graph: ConflictGraph::new(),
+        pending: BTreeMap::new(),
+        running: HashMap::new(),
+        seq_to_key: HashMap::new(),
+        aborted_seqs: HashSet::new(),
+        build_results: HashMap::new(),
+        resolved_rejected: HashSet::new(),
+        pool: WorkerPool::new(config.workers),
+        next_seq: 0,
+        builds_started: 0,
+        builds_aborted: 0,
+        records: Vec::with_capacity(workload.changes.len()),
+        commit_log: Vec::new(),
+        makespan: SimTime::ZERO,
+        epoch_scheduled: false,
+    };
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (i, c) in workload.changes.iter().enumerate() {
+        queue.schedule(c.submit_time, Event::Arrival(i));
+    }
+    let outcome = run_des(&mut sim, &mut queue, config.max_events);
+    debug_assert!(outcome.drained, "simulation hit the event safety valve");
+    let utilization = sim.pool.utilization(sim.makespan);
+    SimResult {
+        strategy: strategy.kind(),
+        records: sim.records,
+        commit_log: sim.commit_log,
+        makespan: sim.makespan,
+        builds_started: sim.builds_started,
+        builds_aborted: sim.builds_aborted,
+        utilization,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Index into `workload.changes`.
+    Arrival(usize),
+    /// A build finished (may have been aborted meanwhile).
+    BuildDone(u64),
+    /// Periodic planning tick (epoch mode only).
+    Epoch,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RunningBuild {
+    seq: u64,
+    start: SimTime,
+    finish: SimTime,
+}
+
+struct PendingChange {
+    fixed_committed: Vec<ChangeId>,
+    counters: SpeculationCounters,
+    builds_scheduled: u32,
+    builds_aborted: u32,
+}
+
+struct Planner<'a> {
+    workload: &'a Workload,
+    truth: GroundTruth,
+    strategy: &'a Strategy,
+    config: PlannerConfig,
+    analyzer: StatisticalAnalyzer,
+    graph: ConflictGraph,
+    pending: BTreeMap<ChangeId, PendingChange>,
+    running: HashMap<BuildKey, RunningBuild>,
+    seq_to_key: HashMap<u64, BuildKey>,
+    aborted_seqs: HashSet<u64>,
+    build_results: HashMap<BuildKey, bool>,
+    /// Changes that resolved as rejected (for contradiction checks).
+    resolved_rejected: HashSet<ChangeId>,
+    pool: WorkerPool,
+    next_seq: u64,
+    builds_started: u64,
+    builds_aborted: u64,
+    records: Vec<ChangeRecord>,
+    commit_log: Vec<ChangeId>,
+    makespan: SimTime,
+    epoch_scheduled: bool,
+}
+
+impl<'a> Planner<'a> {
+    fn spec(&self, id: ChangeId) -> &'a ChangeSpec {
+        // Change ids are dense indices by construction.
+        &self.workload.changes[id.0 as usize]
+    }
+
+    fn pending_specs(&self) -> Vec<&'a ChangeSpec> {
+        self.pending.keys().map(|&id| self.spec(id)).collect()
+    }
+
+    /// The build that decides `id` right now: in submission-order mode,
+    /// only once every earlier conflict is resolved; in reorder mode
+    /// (Section 10), always — the gating build runs against whatever has
+    /// committed so far, and the change lands the moment it passes.
+    fn realized_key_of(&self, id: ChangeId) -> Option<BuildKey> {
+        if !self.config.reorder && !self.graph.earlier_conflicts(id).is_empty() {
+            return None;
+        }
+        let p = self.pending.get(&id)?;
+        let mut assumed = p.fixed_committed.clone();
+        assumed.sort_unstable();
+        assumed.dedup();
+        Some(BuildKey {
+            subject: id,
+            assumed,
+        })
+    }
+
+    /// Union a strategy pattern with the subject's committed prefix.
+    fn finalize_key(&self, mut key: BuildKey) -> BuildKey {
+        if let Some(p) = self.pending.get(&key.subject) {
+            key.assumed.extend_from_slice(&p.fixed_committed);
+            key.assumed.sort_unstable();
+            key.assumed.dedup();
+        }
+        key
+    }
+
+    fn try_resolve(&mut self, now: SimTime) {
+        loop {
+            let candidates: Vec<ChangeId> = self.pending.keys().copied().collect();
+            let mut resolved_any = false;
+            for id in candidates {
+                let Some(key) = self.realized_key_of(id) else {
+                    continue;
+                };
+                let Some(&ok) = self.build_results.get(&key) else {
+                    continue;
+                };
+                self.resolve(id, ok, now);
+                resolved_any = true;
+            }
+            if !resolved_any {
+                return;
+            }
+        }
+    }
+
+    fn resolve(&mut self, id: ChangeId, ok: bool, now: SimTime) {
+        // In submission-order mode only later neighbours can still be
+        // pending; in reorder mode an overtaken *earlier* neighbour must
+        // also rebase onto this commit.
+        let neighbors: Vec<ChangeId> = self.graph.neighbors(id).collect();
+        if ok {
+            for n in neighbors {
+                if let Some(p) = self.pending.get_mut(&n) {
+                    p.fixed_committed.push(id);
+                }
+            }
+            self.commit_log.push(id);
+        } else {
+            self.resolved_rejected.insert(id);
+        }
+        self.graph.remove(id);
+        let p = self
+            .pending
+            .remove(&id)
+            .expect("resolving a pending change");
+        let spec = self.spec(id);
+        self.records.push(ChangeRecord::new(
+            id,
+            spec.submit_time,
+            now,
+            if ok {
+                ChangeOutcome::Committed
+            } else {
+                ChangeOutcome::Rejected
+            },
+            p.builds_scheduled,
+            p.builds_aborted,
+        ));
+        self.makespan = self.makespan.max(now);
+    }
+
+    /// A running build whose outcome pattern can no longer be the
+    /// realized one (`P_needed = 0`): its subject resolved, a change it
+    /// assumed committed was rejected, or a change it assumed aborted
+    /// committed. The paper's Section 10 refinement — abort only builds
+    /// "very unlikely to be needed" — with certainty substituted for
+    /// likelihood: contradicted builds are *never* needed.
+    fn contradicted(&self, key: &BuildKey) -> bool {
+        let Some(p) = self.pending.get(&key.subject) else {
+            return true; // subject already resolved
+        };
+        for d in &key.assumed {
+            if self.resolved_rejected.contains(d) {
+                return true; // assumed-committed change was rejected
+            }
+        }
+        for d in &p.fixed_committed {
+            if !key.assumed.contains(d) {
+                return true; // assumed-aborted change committed
+            }
+        }
+        false
+    }
+
+    fn abort_build(&mut self, key: &BuildKey, now: SimTime) {
+        let rb = self.running.remove(key).expect("aborting a running build");
+        self.aborted_seqs.insert(rb.seq);
+        self.pool.release(now);
+        self.builds_aborted += 1;
+        if let Some(p) = self.pending.get_mut(&key.subject) {
+            p.builds_aborted += 1;
+        }
+    }
+
+    /// Event-driven mode replans immediately; epoch mode defers to the
+    /// next tick (scheduling one if none is pending).
+    fn maybe_replan(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        match self.config.epoch {
+            None => self.replan_now(now, sched),
+            Some(epoch) => {
+                if !self.epoch_scheduled {
+                    self.epoch_scheduled = true;
+                    sched.at(now + epoch, Event::Epoch);
+                }
+            }
+        }
+    }
+
+    fn replan_now(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        // 1. Abort running builds whose pattern is contradicted by the
+        // outcomes observed so far — their result can never be used.
+        let dead: Vec<BuildKey> = self
+            .running
+            .keys()
+            .filter(|k| self.contradicted(k))
+            .cloned()
+            .collect();
+        for key in dead {
+            self.abort_build(&key, now);
+        }
+
+        // 2. Desired list: gating builds first, then the strategy's picks.
+        let mut desired: Vec<BuildKey> = Vec::with_capacity(self.config.workers);
+        let mut must_run: HashSet<BuildKey> = HashSet::new();
+        let mut seen: HashSet<BuildKey> = HashSet::new();
+        for &id in self.pending.keys() {
+            if let Some(key) = self.realized_key_of(id) {
+                if !self.build_results.contains_key(&key) && seen.insert(key.clone()) {
+                    must_run.insert(key.clone());
+                    desired.push(key);
+                }
+            }
+        }
+        let pending_specs = self.pending_specs();
+        let counters: HashMap<ChangeId, SpeculationCounters> = self
+            .pending
+            .iter()
+            .map(|(&id, p)| (id, p.counters))
+            .collect();
+        let fixed: HashMap<ChangeId, Vec<ChangeId>> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| !p.fixed_committed.is_empty())
+            .map(|(&id, p)| (id, p.fixed_committed.clone()))
+            .collect();
+        let picks = self.strategy.desired_builds(
+            self.workload,
+            &pending_specs,
+            &self.graph,
+            &counters,
+            &fixed,
+            self.config.workers,
+        );
+        for pb in picks {
+            if desired.len() >= self.config.workers {
+                break;
+            }
+            let key = self.finalize_key(pb.key);
+            if !self.build_results.contains_key(&key) && seen.insert(key.clone()) {
+                desired.push(key);
+            }
+        }
+        desired.truncate(self.config.workers);
+        let desired_set: HashSet<BuildKey> = desired.iter().cloned().collect();
+
+        // 3. Schedule in priority order. Running builds that are merely
+        // out of fashion keep their workers (no thrash); only a *gating*
+        // build may preempt, and only victims outside the desired set or
+        // non-gating (latest-subject first — the least valuable
+        // speculation under submission-order fairness).
+        for key in desired {
+            if self.running.contains_key(&key) {
+                continue;
+            }
+            if !self.pool.acquire(now) {
+                if !must_run.contains(&key) {
+                    break;
+                }
+                let guard = self.config.preemption_guard;
+                let victim = self
+                    .running
+                    .iter()
+                    .filter(|(k, rb)| {
+                        if must_run.contains(*k) {
+                            return false;
+                        }
+                        match guard {
+                            Some(g) => {
+                                // Progress fraction of the candidate victim.
+                                let total = rb.finish.since(rb.start).as_secs_f64();
+                                let done = now.since(rb.start).as_secs_f64();
+                                total <= 0.0 || done / total < g
+                            }
+                            None => true,
+                        }
+                    })
+                    .max_by(|(a, _), (b, _)| {
+                        let a_out = !desired_set.contains(*a);
+                        let b_out = !desired_set.contains(*b);
+                        a_out.cmp(&b_out).then_with(|| a.cmp(b))
+                    })
+                    .map(|(k, _)| k.clone());
+                let Some(victim) = victim else { break };
+                self.abort_build(&victim, now);
+                let acquired = self.pool.acquire(now);
+                debug_assert!(acquired, "preemption frees exactly one worker");
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let duration = self.spec(key.subject).build_duration + self.config.build_overhead;
+            sched.at(now + duration, Event::BuildDone(seq));
+            self.seq_to_key.insert(seq, key.clone());
+            self.running.insert(
+                key.clone(),
+                RunningBuild {
+                    seq,
+                    start: now,
+                    finish: now + duration,
+                },
+            );
+            self.builds_started += 1;
+            if let Some(p) = self.pending.get_mut(&key.subject) {
+                p.builds_scheduled += 1;
+            }
+        }
+    }
+}
+
+impl<'a> sq_sim::Simulation for Planner<'a> {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<'_, Event>) {
+        match event {
+            Event::Arrival(i) => {
+                let spec = &self.workload.changes[i];
+                let pending_specs = self.pending_specs();
+                self.graph.admit(spec, &pending_specs, &mut self.analyzer);
+                self.pending.insert(
+                    spec.id,
+                    PendingChange {
+                        fixed_committed: Vec::new(),
+                        counters: SpeculationCounters::default(),
+                        builds_scheduled: 0,
+                        builds_aborted: 0,
+                    },
+                );
+                // A duplicate-key result may already exist (identical
+                // realized build computed for an earlier change set).
+                self.try_resolve(now);
+                self.maybe_replan(now, sched);
+            }
+            Event::BuildDone(seq) => {
+                if self.aborted_seqs.remove(&seq) {
+                    // Worker already released at abort time.
+                    self.seq_to_key.remove(&seq);
+                    return;
+                }
+                let key = self
+                    .seq_to_key
+                    .remove(&seq)
+                    .expect("completed build was tracked");
+                self.running.remove(&key);
+                self.pool.release(now);
+                let subject = self.spec(key.subject);
+                let assumed: Vec<&ChangeSpec> = key.assumed.iter().map(|&a| self.spec(a)).collect();
+                let ok = self.truth.build_succeeds(subject, assumed.iter().copied());
+                self.build_results.insert(key.clone(), ok);
+                // Dynamic speculation counters (Section 7.2): a finished
+                // speculation is evidence for its subject and, on
+                // success, for every change it stacked on.
+                if let Some(p) = self.pending.get_mut(&key.subject) {
+                    if ok {
+                        p.counters.succeeded += 1;
+                    } else {
+                        p.counters.failed += 1;
+                    }
+                }
+                if ok {
+                    for a in &key.assumed {
+                        if let Some(p) = self.pending.get_mut(a) {
+                            p.counters.succeeded += 1;
+                        }
+                    }
+                }
+                self.try_resolve(now);
+                self.maybe_replan(now, sched);
+            }
+            Event::Epoch => {
+                self.epoch_scheduled = false;
+                self.replan_now(now, sched);
+                // Keep ticking while there is anything left to plan for.
+                if !self.pending.is_empty() || !self.running.is_empty() {
+                    if let Some(epoch) = self.config.epoch {
+                        self.epoch_scheduled = true;
+                        sched.at(now + epoch, Event::Epoch);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::audit_green;
+    use sq_workload::{WorkloadBuilder, WorkloadParams};
+
+    fn workload(rate: f64, n: usize, seed: u64) -> Workload {
+        WorkloadBuilder::new(WorkloadParams::ios().with_rate(rate))
+            .seed(seed)
+            .n_changes(n)
+            .build()
+            .unwrap()
+    }
+
+    fn config(workers: usize) -> PlannerConfig {
+        PlannerConfig {
+            workers,
+            ..PlannerConfig::default()
+        }
+    }
+
+    #[test]
+    fn oracle_resolves_every_change() {
+        let w = workload(100.0, 200, 1);
+        let strategy = Strategy::build(StrategyKind::Oracle, &w, None);
+        let r = run_simulation(&w, &strategy, &config(200));
+        assert_eq!(r.records.len(), 200);
+        assert!(r.committed() > 0);
+        assert_eq!(r.committed() + r.rejected(), 200);
+    }
+
+    #[test]
+    fn all_strategies_keep_master_green() {
+        let w = workload(150.0, 150, 2);
+        let history = workload(100.0, 4000, 99);
+        for kind in StrategyKind::all() {
+            let strategy = Strategy::build(kind, &w, Some(&history));
+            let r = run_simulation(&w, &strategy, &config(150));
+            assert_eq!(r.records.len(), 150, "{} must resolve all", kind.name());
+            audit_green(&w, &r).unwrap_or_else(|e| {
+                panic!("{} broke the mainline: {e}", kind.name());
+            });
+        }
+    }
+
+    #[test]
+    fn oracle_never_wastes_builds() {
+        let w = workload(100.0, 150, 3);
+        let strategy = Strategy::build(StrategyKind::Oracle, &w, None);
+        let r = run_simulation(&w, &strategy, &config(300));
+        // Perfect prediction: every started build is the realized one.
+        assert_eq!(r.builds_aborted, 0, "oracle aborted builds");
+        assert_eq!(r.builds_started as usize, 150);
+    }
+
+    #[test]
+    fn speculate_all_wastes_builds() {
+        let w = workload(200.0, 150, 4);
+        let oracle = Strategy::build(StrategyKind::Oracle, &w, None);
+        let all = Strategy::build(StrategyKind::SpeculateAll, &w, None);
+        let r_oracle = run_simulation(&w, &oracle, &config(100));
+        let r_all = run_simulation(&w, &all, &config(100));
+        assert!(
+            r_all.builds_started > r_oracle.builds_started,
+            "speculate-all must run more builds ({} vs {})",
+            r_all.builds_started,
+            r_oracle.builds_started
+        );
+        assert!(r_all.builds_aborted > 0);
+    }
+
+    #[test]
+    fn oracle_has_best_turnaround() {
+        let w = workload(200.0, 200, 5);
+        let history = workload(100.0, 4000, 98);
+        let workers = 150;
+        let oracle = run_simulation(
+            &w,
+            &Strategy::build(StrategyKind::Oracle, &w, None),
+            &config(workers),
+        );
+        let (o50, _, _) = oracle.turnaround_p50_p95_p99();
+        for kind in [
+            StrategyKind::SubmitQueue,
+            StrategyKind::SpeculateAll,
+            StrategyKind::Optimistic,
+            StrategyKind::SingleQueue,
+        ] {
+            let r = run_simulation(
+                &w,
+                &Strategy::build(kind, &w, Some(&history)),
+                &config(workers),
+            );
+            let (p50, _, _) = r.turnaround_p50_p95_p99();
+            assert!(
+                p50 >= o50 * 0.999,
+                "{} beat the oracle: {p50} < {o50}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rejections_always_have_a_ground_truth_reason() {
+        // Commit sets can legitimately differ across strategies (a slower
+        // strategy widens concurrency windows, exposing more real
+        // conflicts), but every individual decision must be justified: a
+        // rejection needs either an intrinsic failure or a real conflict
+        // with a change that committed while it was in flight.
+        let w = workload(150.0, 120, 6);
+        let history = workload(100.0, 4000, 97);
+        let truth = w.truth();
+        for kind in StrategyKind::all() {
+            let strategy = Strategy::build(kind, &w, Some(&history));
+            let r = run_simulation(&w, &strategy, &config(200));
+            let committed: HashSet<ChangeId> = r.commit_log.iter().copied().collect();
+            let resolved_at: HashMap<ChangeId, SimTime> =
+                r.records.iter().map(|rec| (rec.id, rec.resolved)).collect();
+            for rec in &r.records {
+                if committed.contains(&rec.id) {
+                    continue;
+                }
+                let c = &w.changes[rec.id.0 as usize];
+                let justified = !truth.succeeds_alone(c)
+                    || r.commit_log.iter().any(|&d_id| {
+                        let d = &w.changes[d_id.0 as usize];
+                        c.submit_time < resolved_at[&d_id] && truth.real_conflict(c, d)
+                    });
+                assert!(
+                    justified,
+                    "{} rejected {} without a ground-truth reason",
+                    kind.name(),
+                    rec.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_queue_is_slowest() {
+        let w = workload(500.0, 300, 7);
+        let oracle = run_simulation(
+            &w,
+            &Strategy::build(StrategyKind::Oracle, &w, None),
+            &config(200),
+        );
+        let sq = run_simulation(
+            &w,
+            &Strategy::build(StrategyKind::SingleQueue, &w, None),
+            &config(200),
+        );
+        // Independent changes proceed in parallel under Single-Queue, so
+        // the median gap is modest; the conflict chains dominate the tail
+        // (the paper's P95/P99 blow-ups of 129–132×).
+        let (o50, o95, _) = oracle.turnaround_p50_p95_p99();
+        let (s50, s95, _) = sq.turnaround_p50_p95_p99();
+        assert!(s50 > o50 * 1.3, "P50: {s50} vs oracle {o50}");
+        assert!(s95 > o95 * 2.0, "P95: {s95} vs oracle {o95}");
+    }
+
+    #[test]
+    fn more_workers_never_hurt_oracle() {
+        let w = workload(300.0, 200, 8);
+        let few = run_simulation(
+            &w,
+            &Strategy::build(StrategyKind::Oracle, &w, None),
+            &config(50),
+        );
+        let many = run_simulation(
+            &w,
+            &Strategy::build(StrategyKind::Oracle, &w, None),
+            &config(400),
+        );
+        let (f50, _, _) = few.turnaround_p50_p95_p99();
+        let (m50, _, _) = many.turnaround_p50_p95_p99();
+        assert!(
+            m50 <= f50 * 1.001,
+            "more workers worsened oracle: {m50} vs {f50}"
+        );
+    }
+
+    #[test]
+    fn conflict_analyzer_improves_submitqueue() {
+        let w = workload(300.0, 250, 9);
+        let history = workload(100.0, 4000, 96);
+        let strategy = Strategy::build(StrategyKind::SubmitQueue, &w, Some(&history));
+        let with = run_simulation(&w, &strategy, &config(150));
+        let without = run_simulation(
+            &w,
+            &strategy,
+            &PlannerConfig {
+                workers: 150,
+                conflict_analyzer: false,
+                ..PlannerConfig::default()
+            },
+        );
+        let (_, w95, _) = with.turnaround_p50_p95_p99();
+        let (_, wo95, _) = without.turnaround_p50_p95_p99();
+        assert!(
+            w95 <= wo95 * 1.05,
+            "analyzer should help (with {w95} vs without {wo95})"
+        );
+        // Both remain green.
+        audit_green(&w, &with).unwrap();
+        audit_green(&w, &without).unwrap();
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let w = workload(100.0, 100, 10);
+        let r = run_simulation(
+            &w,
+            &Strategy::build(StrategyKind::Optimistic, &w, None),
+            &config(100),
+        );
+        assert!((0.0..=1.0).contains(&r.utilization));
+        assert!(r.makespan > SimTime::ZERO);
+        assert!(r.throughput_per_hour() > 0.0);
+    }
+
+    #[test]
+    fn reorder_mode_stays_green_and_helps_small_changes() {
+        // Section 10 "Change Reordering": a small change submitted after
+        // a long-running conflicting change no longer waits for it.
+        let w = workload(300.0, 200, 11);
+        let base = PlannerConfig {
+            workers: 150,
+            ..PlannerConfig::default()
+        };
+        let reordered = PlannerConfig {
+            reorder: true,
+            ..base.clone()
+        };
+        let strategy = Strategy::build(StrategyKind::Oracle, &w, None);
+        let in_order = run_simulation(&w, &strategy, &base);
+        let out_of_order = run_simulation(&w, &strategy, &reordered);
+        // Safety first: reordering must not break the mainline.
+        audit_green(&w, &out_of_order).unwrap();
+        assert_eq!(out_of_order.records.len(), 200);
+        // Reordering is the paper's fairness/starvation tradeoff: jumped
+        // changes finish sooner, overtaken ones rebuild on the grown
+        // prefix. Net median must stay in the same band, not regress
+        // wholesale.
+        let (p50_in, _, _) = in_order.turnaround_p50_p95_p99();
+        let (p50_re, _, _) = out_of_order.turnaround_p50_p95_p99();
+        assert!(
+            p50_re <= p50_in * 1.25,
+            "reordering regressed median turnaround badly ({p50_re} vs {p50_in})"
+        );
+        // The commit order genuinely deviates from submission order.
+        let monotone = out_of_order.commit_log.windows(2).all(|p| p[0] < p[1]);
+        assert!(
+            !monotone || in_order.commit_log == out_of_order.commit_log,
+            "reorder mode should produce out-of-order commits on a contended workload"
+        );
+    }
+
+    #[test]
+    fn preemption_guard_protects_nearly_finished_builds() {
+        // Section 10 "Build Preemption": with a guard, builds past the
+        // threshold are never aborted for gating work. The run must still
+        // terminate, stay green, and abort no more than the unguarded run.
+        let w = workload(400.0, 150, 12);
+        let strategy = Strategy::build(StrategyKind::SpeculateAll, &w, None);
+        let unguarded = run_simulation(
+            &w,
+            &strategy,
+            &PlannerConfig {
+                workers: 60,
+                ..PlannerConfig::default()
+            },
+        );
+        let guarded = run_simulation(
+            &w,
+            &strategy,
+            &PlannerConfig {
+                workers: 60,
+                preemption_guard: Some(0.8),
+                ..PlannerConfig::default()
+            },
+        );
+        audit_green(&w, &guarded).unwrap();
+        assert_eq!(guarded.records.len(), 150);
+        assert!(
+            guarded.builds_aborted <= unguarded.builds_aborted,
+            "guard must not increase aborts ({} vs {})",
+            guarded.builds_aborted,
+            unguarded.builds_aborted
+        );
+    }
+
+    #[test]
+    fn epoch_mode_is_green_and_close_to_event_driven() {
+        // Section 6: planning on epochs instead of every event. Short
+        // epochs should cost little; the run must stay green and resolve
+        // everything either way.
+        let w = workload(200.0, 150, 14);
+        let strategy = Strategy::build(StrategyKind::Oracle, &w, None);
+        let event_driven = run_simulation(&w, &strategy, &config(150));
+        let epoch = run_simulation(
+            &w,
+            &strategy,
+            &PlannerConfig {
+                workers: 150,
+                epoch: Some(SimDuration::from_secs(30)),
+                ..PlannerConfig::default()
+            },
+        );
+        audit_green(&w, &epoch).unwrap();
+        assert_eq!(epoch.records.len(), 150);
+        let (p50_event, _, _) = event_driven.turnaround_p50_p95_p99();
+        let (p50_epoch, _, _) = epoch.turnaround_p50_p95_p99();
+        // A 30s epoch adds at most ~1 tick of latency per planning round.
+        assert!(
+            p50_epoch <= p50_event + 5.0,
+            "30s epochs should cost little: {p50_epoch} vs {p50_event}"
+        );
+        // Long epochs visibly hurt.
+        let slow = run_simulation(
+            &w,
+            &strategy,
+            &PlannerConfig {
+                workers: 150,
+                epoch: Some(SimDuration::from_mins(20)),
+                ..PlannerConfig::default()
+            },
+        );
+        audit_green(&w, &slow).unwrap();
+        let (p50_slow, _, _) = slow.turnaround_p50_p95_p99();
+        assert!(
+            p50_slow > p50_epoch,
+            "20-minute epochs should be slower: {p50_slow} vs {p50_epoch}"
+        );
+    }
+
+    #[test]
+    fn empty_workload_terminates_immediately() {
+        let w = WorkloadBuilder::new(WorkloadParams::ios())
+            .seed(20)
+            .n_changes(0)
+            .build()
+            .unwrap();
+        let strategy = Strategy::build(StrategyKind::Oracle, &w, None);
+        let r = run_simulation(&w, &strategy, &config(10));
+        assert!(r.records.is_empty());
+        assert!(r.commit_log.is_empty());
+        assert_eq!(r.builds_started, 0);
+        assert_eq!(r.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_change_workload() {
+        let w = workload(100.0, 1, 21);
+        let strategy = Strategy::build(StrategyKind::Oracle, &w, None);
+        let r = run_simulation(&w, &strategy, &config(1));
+        assert_eq!(r.records.len(), 1);
+        let c = &w.changes[0];
+        assert_eq!(r.commit_log.len(), usize::from(c.intrinsic_success));
+        // Turnaround = build duration + overhead (no queueing).
+        let expected = c.build_duration + PlannerConfig::default().build_overhead;
+        assert_eq!(r.records[0].turnaround, expected);
+    }
+
+    #[test]
+    fn all_changes_failing_still_terminates_green() {
+        let mut params = WorkloadParams::ios().with_rate(200.0);
+        params.success_base_logit = -50.0; // nobody passes
+        let w = WorkloadBuilder::new(params)
+            .seed(22)
+            .n_changes(60)
+            .build()
+            .unwrap();
+        assert_eq!(w.isolated_success_rate(), 0.0);
+        for kind in [
+            StrategyKind::Oracle,
+            StrategyKind::SpeculateAll,
+            StrategyKind::SingleQueue,
+        ] {
+            let strategy = Strategy::build(kind, &w, None);
+            let r = run_simulation(&w, &strategy, &config(50));
+            assert_eq!(r.records.len(), 60, "{}", kind.name());
+            assert!(r.commit_log.is_empty(), "{}", kind.name());
+            audit_green(&w, &r).unwrap();
+        }
+    }
+
+    #[test]
+    fn one_worker_never_deadlocks() {
+        let w = workload(300.0, 40, 23);
+        for kind in [
+            StrategyKind::Oracle,
+            StrategyKind::SpeculateAll,
+            StrategyKind::Optimistic,
+        ] {
+            let strategy = Strategy::build(kind, &w, None);
+            let r = run_simulation(&w, &strategy, &config(1));
+            assert_eq!(r.records.len(), 40, "{} starved", kind.name());
+            audit_green(&w, &r).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_overhead_turnarounds_are_exact_durations_for_oracle_uncontended() {
+        let w = workload(10.0, 10, 24); // very sparse arrivals
+        let strategy = Strategy::build(StrategyKind::Oracle, &w, None);
+        let r = run_simulation(
+            &w,
+            &strategy,
+            &PlannerConfig {
+                workers: 100,
+                build_overhead: SimDuration::ZERO,
+                ..PlannerConfig::default()
+            },
+        );
+        // With no contention and no conflicts gating at this sparsity for
+        // most changes, most turnarounds equal the build duration exactly.
+        let exact = r
+            .records
+            .iter()
+            .filter(|rec| rec.turnaround == w.changes[rec.id.0 as usize].build_duration)
+            .count();
+        assert!(exact >= 7, "only {exact}/10 exact");
+    }
+
+    #[test]
+    fn simulations_are_bit_for_bit_deterministic() {
+        let w = workload(250.0, 120, 25);
+        let history = workload(100.0, 3000, 94);
+        for kind in [StrategyKind::Oracle, StrategyKind::SubmitQueue] {
+            let strategy = Strategy::build(kind, &w, Some(&history));
+            let r1 = run_simulation(&w, &strategy, &config(120));
+            let r2 = run_simulation(&w, &strategy, &config(120));
+            assert_eq!(r1.commit_log, r2.commit_log, "{}", kind.name());
+            assert_eq!(r1.builds_started, r2.builds_started);
+            assert_eq!(r1.builds_aborted, r2.builds_aborted);
+            assert_eq!(r1.makespan, r2.makespan);
+            for (a, b) in r1.records.iter().zip(&r2.records) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.resolved, b.resolved);
+                assert_eq!(a.outcome, b.outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_with_learned_predictor_is_green() {
+        let w = workload(250.0, 120, 13);
+        let history = workload(100.0, 3000, 95);
+        let strategy = Strategy::build(StrategyKind::SubmitQueue, &w, Some(&history));
+        let r = run_simulation(
+            &w,
+            &strategy,
+            &PlannerConfig {
+                workers: 100,
+                reorder: true,
+                preemption_guard: Some(0.9),
+                ..PlannerConfig::default()
+            },
+        );
+        audit_green(&w, &r).unwrap();
+        assert_eq!(r.records.len(), 120);
+    }
+}

@@ -1,0 +1,248 @@
+//! Load balancing of build steps across workers.
+//!
+//! "The build controller … maintains the history of build steps that were
+//! performed, along with their average build durations. Based on this
+//! data, the build controller assigns build steps to workers such that
+//! every worker has an even amount of work" (paper Section 6).
+//!
+//! [`DurationModel`] is the history (an exponentially-weighted moving
+//! average per `(target, step-kind)` with a per-kind fallback), and
+//! [`LoadBalancer`] is the assignment policy: LPT (longest processing
+//! time first) greedy onto the least-loaded worker, the standard 4/3-
+//! approximation for minimum makespan.
+
+use crate::step::{BuildStep, StepKind};
+use sq_build::TargetName;
+use sq_sim::SimDuration;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Historical duration estimates.
+#[derive(Debug, Clone)]
+pub struct DurationModel {
+    /// EWMA per concrete step.
+    per_step: HashMap<(TargetName, StepKind), f64>,
+    /// EWMA per step kind (fallback for never-seen steps).
+    per_kind: HashMap<StepKind, f64>,
+    /// Smoothing factor in (0, 1]; weight of the newest observation.
+    alpha: f64,
+    /// Default estimate when nothing has been observed at all.
+    default: SimDuration,
+}
+
+impl DurationModel {
+    /// A model with smoothing factor `alpha` and a cold-start `default`.
+    pub fn new(alpha: f64, default: SimDuration) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        DurationModel {
+            per_step: HashMap::new(),
+            per_kind: HashMap::new(),
+            alpha,
+            default,
+        }
+    }
+
+    /// Record an observed duration for a completed step.
+    pub fn observe(&mut self, target: &TargetName, kind: StepKind, duration: SimDuration) {
+        let secs = duration.as_secs_f64();
+        let update = |slot: &mut f64, alpha: f64| *slot += alpha * (secs - *slot);
+        match self.per_step.entry((target.clone(), kind)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => update(e.get_mut(), self.alpha),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(secs);
+            }
+        }
+        match self.per_kind.entry(kind) {
+            std::collections::hash_map::Entry::Occupied(mut e) => update(e.get_mut(), self.alpha),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(secs);
+            }
+        }
+    }
+
+    /// Estimated duration for a step: exact history, else per-kind
+    /// history, else the cold-start default.
+    pub fn estimate(&self, target: &TargetName, kind: StepKind) -> SimDuration {
+        if let Some(&secs) = self.per_step.get(&(target.clone(), kind)) {
+            return SimDuration::from_secs_f64(secs);
+        }
+        if let Some(&secs) = self.per_kind.get(&kind) {
+            return SimDuration::from_secs_f64(secs);
+        }
+        self.default
+    }
+}
+
+impl Default for DurationModel {
+    fn default() -> Self {
+        DurationModel::new(0.3, SimDuration::from_mins(1))
+    }
+}
+
+/// An assignment of steps to workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// `per_worker[w]` lists indices into the input step slice.
+    pub per_worker: Vec<Vec<usize>>,
+    /// The predicted completion time (load of the busiest worker).
+    pub makespan: SimDuration,
+}
+
+/// The LPT greedy balancer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadBalancer;
+
+impl LoadBalancer {
+    /// Distribute `steps` over `workers` workers so loads are even.
+    ///
+    /// Steps are sorted by descending estimated duration, then each is
+    /// placed on the currently least-loaded worker. Panics if
+    /// `workers == 0`.
+    pub fn assign(&self, steps: &[BuildStep], model: &DurationModel, workers: usize) -> Assignment {
+        assert!(workers > 0, "cannot balance onto zero workers");
+        let mut order: Vec<(usize, SimDuration)> = steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, model.estimate(&s.target, s.kind)))
+            .collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        // Min-heap of (load, worker index).
+        let mut heap: BinaryHeap<Reverse<(SimDuration, usize)>> = (0..workers)
+            .map(|w| Reverse((SimDuration::ZERO, w)))
+            .collect();
+        let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for (idx, dur) in order {
+            let Reverse((load, w)) = heap.pop().expect("workers > 0");
+            per_worker[w].push(idx);
+            heap.push(Reverse((load + dur, w)));
+        }
+        let makespan = heap
+            .into_iter()
+            .map(|Reverse((load, _))| load)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        Assignment {
+            per_worker,
+            makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    fn t(s: &str) -> TargetName {
+        TargetName::from_str(s).unwrap()
+    }
+
+    fn mins(m: u64) -> SimDuration {
+        SimDuration::from_mins(m)
+    }
+
+    #[test]
+    fn estimate_falls_back_kind_then_default() {
+        let mut m = DurationModel::new(0.5, mins(7));
+        assert_eq!(m.estimate(&t("//a:a"), StepKind::Compile), mins(7));
+        m.observe(&t("//b:b"), StepKind::Compile, mins(10));
+        // Unknown target, known kind → kind average.
+        assert_eq!(m.estimate(&t("//a:a"), StepKind::Compile), mins(10));
+        // Known step → exact history.
+        m.observe(&t("//a:a"), StepKind::Compile, mins(2));
+        assert_eq!(m.estimate(&t("//a:a"), StepKind::Compile), mins(2));
+    }
+
+    #[test]
+    fn ewma_converges_toward_recent_observations() {
+        let mut m = DurationModel::new(0.5, mins(1));
+        let target = t("//a:a");
+        m.observe(&target, StepKind::Compile, mins(10));
+        for _ in 0..20 {
+            m.observe(&target, StepKind::Compile, mins(2));
+        }
+        let est = m.estimate(&target, StepKind::Compile).as_mins_f64();
+        assert!((est - 2.0).abs() < 0.01, "est = {est}");
+    }
+
+    #[test]
+    fn assignment_covers_all_steps_exactly_once() {
+        let model = DurationModel::default();
+        let steps: Vec<BuildStep> = (0..10)
+            .map(|i| BuildStep::new(t(&format!("//p:t{i}")), StepKind::Compile))
+            .collect();
+        let a = LoadBalancer.assign(&steps, &model, 3);
+        let mut seen: Vec<usize> = a.per_worker.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn balanced_loads_with_uniform_steps() {
+        let model = DurationModel::default();
+        let steps: Vec<BuildStep> = (0..12)
+            .map(|i| BuildStep::new(t(&format!("//p:t{i}")), StepKind::Compile))
+            .collect();
+        let a = LoadBalancer.assign(&steps, &model, 4);
+        for w in &a.per_worker {
+            assert_eq!(w.len(), 3);
+        }
+    }
+
+    #[test]
+    fn lpt_places_long_steps_first() {
+        let mut model = DurationModel::new(0.5, mins(1));
+        // One 60-minute step and six 10-minute steps over two workers:
+        // optimal makespan is 60; naive round-robin could give 90.
+        model.observe(&t("//p:big"), StepKind::Compile, mins(60));
+        for i in 0..6 {
+            model.observe(&t(&format!("//p:small{i}")), StepKind::Compile, mins(10));
+        }
+        let mut steps = vec![BuildStep::new(t("//p:big"), StepKind::Compile)];
+        for i in 0..6 {
+            steps.push(BuildStep::new(
+                t(&format!("//p:small{i}")),
+                StepKind::Compile,
+            ));
+        }
+        let a = LoadBalancer.assign(&steps, &model, 2);
+        assert_eq!(a.makespan, mins(60));
+    }
+
+    #[test]
+    fn makespan_with_single_worker_is_total_work() {
+        let mut model = DurationModel::new(0.5, mins(1));
+        for i in 0..5 {
+            model.observe(&t(&format!("//p:t{i}")), StepKind::Compile, mins(i + 1));
+        }
+        let steps: Vec<BuildStep> = (0..5)
+            .map(|i| BuildStep::new(t(&format!("//p:t{i}")), StepKind::Compile))
+            .collect();
+        let a = LoadBalancer.assign(&steps, &model, 1);
+        assert_eq!(a.makespan, mins(1 + 2 + 3 + 4 + 5));
+    }
+
+    #[test]
+    fn empty_step_list() {
+        let a = LoadBalancer.assign(&[], &DurationModel::default(), 3);
+        assert_eq!(a.makespan, SimDuration::ZERO);
+        assert!(a.per_worker.iter().all(|w| w.is_empty()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_panics() {
+        LoadBalancer.assign(&[], &DurationModel::default(), 0);
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let model = DurationModel::default();
+        let steps: Vec<BuildStep> = (0..7)
+            .map(|i| BuildStep::new(t(&format!("//p:t{i}")), StepKind::Compile))
+            .collect();
+        let a1 = LoadBalancer.assign(&steps, &model, 3);
+        let a2 = LoadBalancer.assign(&steps, &model, 3);
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Worker-pool capacity model for the discrete-event simulator.
+//!
+//! The paper's evaluation grid sweeps 100–500 workers against 100–500
+//! changes/hour; a speculation build occupies one worker (a Mac Mini) for
+//! its duration. This model does the corresponding bookkeeping: capacity,
+//! occupancy, and utilization accounting over simulated time.
+
+use sq_sim::{SimDuration, SimTime};
+
+/// A fixed pool of identical workers.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    total: usize,
+    busy: usize,
+    /// Integral of busy workers over time (worker-microseconds), for
+    /// utilization reporting.
+    busy_integral: u128,
+    last_update: SimTime,
+}
+
+impl WorkerPool {
+    /// A pool with `total` workers, all idle. Panics if `total == 0`.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "a worker pool needs at least one worker");
+        WorkerPool {
+            total,
+            busy: 0,
+            busy_integral: 0,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Total capacity.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Currently occupied workers.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Currently idle workers.
+    pub fn idle(&self) -> usize {
+        self.total - self.busy
+    }
+
+    /// True iff at least one worker is idle.
+    pub fn has_capacity(&self) -> bool {
+        self.busy < self.total
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last_update);
+        self.busy_integral += dt.as_micros() as u128 * self.busy as u128;
+        self.last_update = now;
+    }
+
+    /// Occupy one worker at simulated time `now`. Returns `false` (and
+    /// changes nothing) when the pool is saturated.
+    pub fn acquire(&mut self, now: SimTime) -> bool {
+        self.advance(now);
+        if self.busy < self.total {
+            self.busy += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release one worker at simulated time `now`.
+    ///
+    /// # Panics
+    /// Panics if no worker is busy — that is always a planner bug
+    /// (double release loses capacity accounting silently otherwise).
+    pub fn release(&mut self, now: SimTime) {
+        self.advance(now);
+        assert!(self.busy > 0, "release without matching acquire");
+        self.busy -= 1;
+    }
+
+    /// Mean utilization in [0, 1] over `[0, now]`.
+    pub fn utilization(&mut self, now: SimTime) -> f64 {
+        self.advance(now);
+        let elapsed = now.as_micros() as u128;
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.busy_integral as f64 / (elapsed as f64 * self.total as f64)
+    }
+}
+
+/// Convenience: how long a build occupying one worker takes, given the
+/// amount of incremental work and a floor for fixed overheads (fetch,
+/// queueing, artifact upload). Used by the simulation-facing controller.
+pub fn build_occupancy(work: SimDuration, overhead: SimDuration) -> SimDuration {
+    work + overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut p = WorkerPool::new(2);
+        let t0 = SimTime::ZERO;
+        assert!(p.acquire(t0));
+        assert!(p.acquire(t0));
+        assert!(!p.acquire(t0));
+        assert_eq!(p.busy(), 2);
+        assert_eq!(p.idle(), 0);
+        p.release(SimTime::from_secs(10));
+        assert!(p.has_capacity());
+        assert!(p.acquire(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn release_without_acquire_panics() {
+        let mut p = WorkerPool::new(1);
+        p.release(SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_rejected() {
+        WorkerPool::new(0);
+    }
+
+    #[test]
+    fn utilization_integrates_occupancy() {
+        let mut p = WorkerPool::new(2);
+        // One worker busy for the first half of a 100s window, both idle
+        // after: utilization = (1 × 50) / (2 × 100) = 0.25.
+        assert!(p.acquire(SimTime::ZERO));
+        p.release(SimTime::from_secs(50));
+        let u = p.utilization(SimTime::from_secs(100));
+        assert!((u - 0.25).abs() < 1e-9, "u = {u}");
+    }
+
+    #[test]
+    fn utilization_full_load() {
+        let mut p = WorkerPool::new(3);
+        for _ in 0..3 {
+            assert!(p.acquire(SimTime::ZERO));
+        }
+        let u = p.utilization(SimTime::from_secs(60));
+        assert!((u - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_at_time_zero_is_zero() {
+        let mut p = WorkerPool::new(1);
+        assert_eq!(p.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn occupancy_helper() {
+        assert_eq!(
+            build_occupancy(SimDuration::from_mins(30), SimDuration::from_secs(90)),
+            SimDuration::from_micros(30 * 60_000_000 + 90_000_000)
+        );
+    }
+}

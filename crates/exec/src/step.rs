@@ -1,0 +1,108 @@
+//! Build steps.
+//!
+//! "A change comprises of a developer's code patch padded with some build
+//! steps that need to succeed before the patch can be merged" (paper
+//! Section 1). Each target's rule kind expands into a fixed pipeline of
+//! steps: compiling, linking, running tests, generating artifacts — the
+//! examples the paper gives for its iOS monorepo.
+
+use serde::{Deserialize, Serialize};
+use sq_build::{RuleKind, TargetName};
+use std::fmt;
+
+/// One kind of build action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StepKind {
+    /// Compile the target's sources.
+    Compile,
+    /// Link a binary from compiled outputs.
+    Link,
+    /// Run the target's test suite.
+    RunTests,
+    /// Validate generated configuration.
+    Validate,
+    /// Package a signed artifact (the paper's "unsignable artifact" is a
+    /// failure of this step).
+    Package,
+}
+
+impl fmt::Display for StepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StepKind::Compile => "compile",
+            StepKind::Link => "link",
+            StepKind::RunTests => "run-tests",
+            StepKind::Validate => "validate",
+            StepKind::Package => "package",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The pipeline of step kinds for a rule kind, in execution order.
+pub fn steps_for(kind: RuleKind) -> &'static [StepKind] {
+    match kind {
+        RuleKind::Library => &[StepKind::Compile],
+        RuleKind::Binary => &[StepKind::Compile, StepKind::Link, StepKind::Package],
+        RuleKind::Test => &[StepKind::Compile, StepKind::RunTests],
+        RuleKind::Config => &[StepKind::Validate],
+    }
+}
+
+/// One concrete build step: an action on a target.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BuildStep {
+    /// The target being acted on.
+    pub target: TargetName,
+    /// The action.
+    pub kind: StepKind,
+}
+
+impl BuildStep {
+    /// Convenience constructor.
+    pub fn new(target: TargetName, kind: StepKind) -> Self {
+        BuildStep { target, kind }
+    }
+}
+
+impl fmt::Display for BuildStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn pipelines_per_rule_kind() {
+        assert_eq!(steps_for(RuleKind::Library), &[StepKind::Compile]);
+        assert_eq!(
+            steps_for(RuleKind::Binary),
+            &[StepKind::Compile, StepKind::Link, StepKind::Package]
+        );
+        assert_eq!(
+            steps_for(RuleKind::Test),
+            &[StepKind::Compile, StepKind::RunTests]
+        );
+        assert_eq!(steps_for(RuleKind::Config), &[StepKind::Validate]);
+    }
+
+    #[test]
+    fn every_pipeline_starts_deterministically() {
+        // Compile-first for code rules; the pipeline order is the
+        // execution order.
+        for kind in [RuleKind::Library, RuleKind::Binary, RuleKind::Test] {
+            assert_eq!(steps_for(kind)[0], StepKind::Compile);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = TargetName::from_str("//a:b").unwrap();
+        let s = BuildStep::new(t, StepKind::RunTests);
+        assert_eq!(s.to_string(), "run-tests //a:b");
+    }
+}

@@ -1,0 +1,177 @@
+//! Recursive feature elimination (RFE).
+//!
+//! "To avoid overfitting the models and keeping the computation during
+//! actual prediction fast, we also ran our model against recursive
+//! feature elimination. This helped us reduce the set of features to just
+//! the bare minimum" (paper Section 7.2).
+//!
+//! The procedure: standardize, train, drop the `step` features with the
+//! smallest |weight|, retrain, repeat until `keep` features remain.
+
+use crate::dataset::{Dataset, Scaler};
+use crate::logistic::{LogisticRegression, TrainConfig};
+
+/// Outcome of an RFE run.
+#[derive(Debug, Clone)]
+pub struct RfeReport {
+    /// Indices (into the original schema) of the surviving features.
+    pub selected: Vec<usize>,
+    /// Names of the surviving features, in original order.
+    pub selected_names: Vec<String>,
+    /// Validation accuracy after each elimination round (first entry is
+    /// the full model).
+    pub accuracy_per_round: Vec<f64>,
+    /// The final model, trained on the surviving standardized features.
+    pub model: LogisticRegression,
+    /// Scaler fitted on the surviving features of the training set.
+    pub scaler: Scaler,
+}
+
+/// Run RFE down to `keep` features, eliminating `step` per round.
+///
+/// `train`/`valid` must share a schema. Panics if `keep` is zero or
+/// exceeds the schema width, or if `step` is zero.
+pub fn recursive_feature_elimination(
+    train: &Dataset,
+    valid: &Dataset,
+    keep: usize,
+    step: usize,
+    config: &TrainConfig,
+) -> RfeReport {
+    let width = train.n_features();
+    assert!(keep >= 1 && keep <= width, "keep out of range");
+    assert!(step >= 1, "step must be positive");
+    assert_eq!(width, valid.n_features(), "schema mismatch");
+
+    let mut active: Vec<usize> = (0..width).collect();
+    let mut accuracy_per_round = Vec::new();
+
+    loop {
+        let sub_train = train.select_columns(&active);
+        let sub_valid = valid.select_columns(&active);
+        let scaler = Scaler::fit(&sub_train);
+        let z_train = scaler.transform(&sub_train);
+        let z_valid = scaler.transform(&sub_valid);
+        let (model, _) = LogisticRegression::fit(&z_train, config);
+        accuracy_per_round.push(model.accuracy(&z_valid));
+
+        if active.len() <= keep {
+            let selected_names = active
+                .iter()
+                .map(|&i| train.feature_names()[i].clone())
+                .collect();
+            return RfeReport {
+                selected: active,
+                selected_names,
+                accuracy_per_round,
+                model,
+                scaler,
+            };
+        }
+
+        // Rank surviving features by |weight| and drop the weakest.
+        let ranking = model.importance_ranking(); // indices into `active`
+        let n_drop = step.min(active.len() - keep);
+        let drop_local: Vec<usize> = ranking[ranking.len() - n_drop..].to_vec();
+        let mut next: Vec<usize> = active
+            .iter()
+            .enumerate()
+            .filter(|(local, _)| !drop_local.contains(local))
+            .map(|(_, &orig)| orig)
+            .collect();
+        next.sort_unstable();
+        active = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sq_sim::Xoshiro256StarStar;
+
+    /// 2 informative features out of 8; the rest pure noise.
+    fn noisy_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let names: Vec<String> = (0..8).map(|i| format!("f{i}")).collect();
+        let mut d = Dataset::new(names);
+        for _ in 0..n {
+            let mut row: Vec<f64> = (0..8).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+            let label = row[2] + 2.0 * row[5] > 0.0;
+            // Mild noise so it's not perfectly separable.
+            row[2] += (rng.next_f64() - 0.5) * 0.1;
+            d.push(row, label);
+        }
+        d
+    }
+
+    #[test]
+    fn rfe_keeps_the_informative_features() {
+        let train = noisy_dataset(3000, 1);
+        let valid = noisy_dataset(800, 2);
+        let report = recursive_feature_elimination(&train, &valid, 2, 1, &TrainConfig::default());
+        assert_eq!(
+            report.selected,
+            vec![2, 5],
+            "selected = {:?}",
+            report.selected
+        );
+        assert_eq!(
+            report.selected_names,
+            vec!["f2".to_string(), "f5".to_string()]
+        );
+        // Accuracy with just the two informative features stays high.
+        assert!(
+            *report.accuracy_per_round.last().unwrap() > 0.95,
+            "rounds = {:?}",
+            report.accuracy_per_round
+        );
+    }
+
+    #[test]
+    fn rfe_round_count() {
+        let train = noisy_dataset(500, 3);
+        let valid = noisy_dataset(200, 4);
+        let report = recursive_feature_elimination(&train, &valid, 4, 2, &TrainConfig::default());
+        // 8 → 6 → 4: three training rounds recorded.
+        assert_eq!(report.accuracy_per_round.len(), 3);
+        assert_eq!(report.selected.len(), 4);
+    }
+
+    #[test]
+    fn rfe_with_keep_equal_width_is_one_round() {
+        let train = noisy_dataset(300, 5);
+        let valid = noisy_dataset(100, 6);
+        let report = recursive_feature_elimination(&train, &valid, 8, 1, &TrainConfig::default());
+        assert_eq!(report.accuracy_per_round.len(), 1);
+        assert_eq!(report.selected, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rfe_step_clamps_to_not_overshoot_keep() {
+        let train = noisy_dataset(300, 7);
+        let valid = noisy_dataset(100, 8);
+        let report = recursive_feature_elimination(&train, &valid, 3, 100, &TrainConfig::default());
+        assert_eq!(report.selected.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rfe_rejects_zero_keep() {
+        let d = noisy_dataset(50, 9);
+        recursive_feature_elimination(&d, &d, 0, 1, &TrainConfig::default());
+    }
+
+    #[test]
+    fn final_model_predicts_through_scaler() {
+        let train = noisy_dataset(2000, 10);
+        let valid = noisy_dataset(500, 11);
+        let report = recursive_feature_elimination(&train, &valid, 2, 2, &TrainConfig::default());
+        // Use the report's scaler + model on a fresh projected row.
+        let fresh = noisy_dataset(1, 12);
+        let projected = fresh.select_columns(&report.selected);
+        let mut row = projected.rows()[0].clone();
+        report.scaler.transform_row(&mut row);
+        let p = report.model.predict_row(&row);
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

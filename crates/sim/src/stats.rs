@@ -1,0 +1,434 @@
+//! Statistics used by the evaluation harness.
+//!
+//! Every figure in the paper's Section 8 is either a CDF (Figs. 9, 10), a
+//! percentile grid (Fig. 11), or a normalized mean (Figs. 12, 13). This
+//! module provides: Welford's online mean/variance ([`OnlineStats`]), exact
+//! sample percentiles ([`Percentiles`]), and empirical CDFs evaluated at
+//! arbitrary points ([`Cdf`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for streaming mean and variance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact sample percentiles over a collected batch.
+///
+/// Uses the nearest-rank definition on the sorted sample, which is what the
+/// paper's P50/P95/P99 turnaround grids report.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+    dirty: bool,
+}
+
+impl Percentiles {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Percentiles {
+            sorted: Vec::new(),
+            dirty: false,
+        }
+    }
+
+    /// Pre-sized empty batch.
+    pub fn with_capacity(n: usize) -> Self {
+        Percentiles {
+            sorted: Vec::with_capacity(n),
+            dirty: false,
+        }
+    }
+
+    /// Add one observation. Non-finite values are rejected (ignored) so a
+    /// stray NaN cannot poison the sort.
+    pub fn push(&mut self, x: f64) {
+        if x.is_finite() {
+            self.sorted.push(x);
+            self.dirty = true;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True iff no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if self.dirty {
+            self.sorted
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+            self.dirty = false;
+        }
+    }
+
+    /// The `p`-th percentile, `p` in [0, 100]. Returns `None` if empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0);
+        // Nearest-rank: ceil(p/100 * N), 1-indexed.
+        let n = self.sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+        Some(self.sorted[rank.min(n) - 1])
+    }
+
+    /// Convenience: (P50, P95, P99).
+    pub fn p50_p95_p99(&mut self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.percentile(50.0)?,
+            self.percentile(95.0)?,
+            self.percentile(99.0)?,
+        ))
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Build an empirical CDF from this batch.
+    pub fn cdf(&mut self) -> Cdf {
+        self.ensure_sorted();
+        Cdf {
+            sorted: self.sorted.clone(),
+        }
+    }
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from a batch of samples (non-finite values dropped).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Cdf { sorted }
+    }
+
+    /// Number of underlying samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `P(X <= x)` under the empirical distribution.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of samples <= x.
+        let le = self.sorted.partition_point(|&s| s <= x);
+        le as f64 / self.sorted.len() as f64
+    }
+
+    /// Evaluate the CDF at each of `points`, returning `(x, F(x))` pairs —
+    /// the series format the figure binaries print.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.eval(x))).collect()
+    }
+
+    /// The empirical quantile function (inverse CDF) at `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil()).max(1.0) as usize;
+        Some(self.sorted[rank.min(n) - 1])
+    }
+}
+
+/// A fixed-width histogram for quick textual summaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// `bins` equal-width bins covering `[lo, hi)`. Panics unless
+    /// `lo < hi` and `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi && bins > 0);
+        Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() || x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Bin counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the top of the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance is 4.0; sample variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut p = Percentiles::new();
+        for x in 1..=100 {
+            p.push(x as f64);
+        }
+        assert_eq!(p.percentile(50.0), Some(50.0));
+        assert_eq!(p.percentile(95.0), Some(95.0));
+        assert_eq!(p.percentile(99.0), Some(99.0));
+        assert_eq!(p.percentile(100.0), Some(100.0));
+        assert_eq!(p.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn percentiles_reject_nan() {
+        let mut p = Percentiles::new();
+        p.push(f64::NAN);
+        p.push(1.0);
+        assert_eq!(p.count(), 1);
+        assert_eq!(p.percentile(50.0), Some(1.0));
+    }
+
+    #[test]
+    fn percentiles_empty() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.percentile(50.0), None);
+        assert!(p.p50_p95_p99().is_none());
+    }
+
+    #[test]
+    fn percentiles_interleaved_push_and_query() {
+        let mut p = Percentiles::new();
+        p.push(10.0);
+        assert_eq!(p.percentile(50.0), Some(10.0));
+        p.push(20.0);
+        p.push(0.0);
+        assert_eq!(p.percentile(50.0), Some(10.0));
+        assert_eq!(p.percentile(100.0), Some(20.0));
+    }
+
+    #[test]
+    fn cdf_eval() {
+        let c = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.5), 0.0);
+        assert_eq!(c.eval(1.0), 0.25);
+        assert_eq!(c.eval(2.5), 0.5);
+        assert_eq!(c.eval(4.0), 1.0);
+        assert_eq!(c.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_quantile_inverts_eval() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let c = Cdf::from_samples(&samples);
+        assert_eq!(c.quantile(0.5), Some(500.0));
+        assert_eq!(c.quantile(0.999), Some(999.0));
+        assert_eq!(c.quantile(1.0), Some(1000.0));
+        assert_eq!(c.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn cdf_series_shape() {
+        let c = Cdf::from_samples(&[5.0, 10.0]);
+        let s = c.series(&[0.0, 5.0, 10.0]);
+        assert_eq!(s, vec![(0.0, 0.0), (5.0, 0.5), (10.0, 1.0)]);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let c = Cdf::from_samples(&[]);
+        assert_eq!(c.eval(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 55.0] {
+            h.push(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.total(), 7);
+    }
+}

@@ -1,0 +1,137 @@
+//! Commits: immutable history records.
+
+use crate::object::{ObjectId, ObjectStore};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a commit (the content address of its serialized form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CommitId(pub ObjectId);
+
+impl fmt::Display for CommitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Commit metadata (who, what, when).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitMeta {
+    /// The author, e.g. a developer id.
+    pub author: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Logical timestamp in microseconds (simulation time or wall clock).
+    pub timestamp_us: u64,
+}
+
+impl CommitMeta {
+    /// Convenience constructor.
+    pub fn new(author: impl Into<String>, message: impl Into<String>, timestamp_us: u64) -> Self {
+        CommitMeta {
+            author: author.into(),
+            message: message.into(),
+            timestamp_us,
+        }
+    }
+}
+
+/// A commit: a snapshot (tree id) plus parent links and metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Commit {
+    /// This commit's id.
+    pub id: CommitId,
+    /// Parent commits (empty for the root, one for ordinary commits).
+    pub parents: Vec<CommitId>,
+    /// The snapshot this commit points at.
+    pub tree: ObjectId,
+    /// Metadata.
+    pub meta: CommitMeta,
+}
+
+impl Commit {
+    /// Compute the commit's content address and store its canonical form.
+    ///
+    /// The canonical form hashes the tree id, parent ids, and metadata, so
+    /// two commits with identical content but different parents (or
+    /// timestamps) get distinct ids — exactly like git.
+    pub fn create(
+        store: &mut ObjectStore,
+        parents: Vec<CommitId>,
+        tree: ObjectId,
+        meta: CommitMeta,
+    ) -> Commit {
+        let mut canonical = String::new();
+        canonical.push_str("tree ");
+        canonical.push_str(&tree.to_hex());
+        canonical.push('\n');
+        for p in &parents {
+            canonical.push_str("parent ");
+            canonical.push_str(&p.0.to_hex());
+            canonical.push('\n');
+        }
+        canonical.push_str(&format!(
+            "author {}\ntimestamp {}\n\n{}\n",
+            meta.author, meta.timestamp_us, meta.message
+        ));
+        let id = CommitId(store.put(canonical.into_bytes()));
+        Commit {
+            id,
+            parents,
+            tree,
+            meta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_id(store: &mut ObjectStore, tag: &str) -> ObjectId {
+        store.put(format!("tree:{tag}").into_bytes())
+    }
+
+    #[test]
+    fn id_depends_on_tree() {
+        let mut store = ObjectStore::new();
+        let t1 = tree_id(&mut store, "1");
+        let t2 = tree_id(&mut store, "2");
+        let meta = CommitMeta::new("alice", "msg", 0);
+        let c1 = Commit::create(&mut store, vec![], t1, meta.clone());
+        let c2 = Commit::create(&mut store, vec![], t2, meta);
+        assert_ne!(c1.id, c2.id);
+    }
+
+    #[test]
+    fn id_depends_on_parents() {
+        let mut store = ObjectStore::new();
+        let t = tree_id(&mut store, "x");
+        let meta = CommitMeta::new("alice", "msg", 0);
+        let root = Commit::create(&mut store, vec![], t, meta.clone());
+        let child = Commit::create(&mut store, vec![root.id], t, meta.clone());
+        let orphan = Commit::create(&mut store, vec![], t, meta);
+        assert_ne!(child.id, orphan.id);
+        assert_eq!(orphan.id, root.id); // same content, same parents ⇒ same id
+    }
+
+    #[test]
+    fn id_depends_on_metadata() {
+        let mut store = ObjectStore::new();
+        let t = tree_id(&mut store, "x");
+        let c1 = Commit::create(&mut store, vec![], t, CommitMeta::new("alice", "m", 1));
+        let c2 = Commit::create(&mut store, vec![], t, CommitMeta::new("alice", "m", 2));
+        assert_ne!(c1.id, c2.id);
+    }
+
+    #[test]
+    fn canonical_form_is_stored() {
+        let mut store = ObjectStore::new();
+        let t = tree_id(&mut store, "x");
+        let c = Commit::create(&mut store, vec![], t, CommitMeta::new("bob", "hello", 7));
+        let stored = store.get_text(&c.id.0).unwrap();
+        assert!(stored.contains("author bob"));
+        assert!(stored.contains("hello"));
+        assert!(stored.contains(&t.to_hex()));
+    }
+}

@@ -1,0 +1,164 @@
+//! The content-addressed object store.
+//!
+//! Blobs (file contents), serialized trees and commits are all stored
+//! under the SHA-256 of their bytes. Storing is idempotent; identical
+//! content is deduplicated, which matters because the benchmark workloads
+//! create tens of thousands of snapshots that share almost all files.
+
+use crate::hash::{to_hex, Sha256};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A 32-byte content address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId([u8; 32]);
+
+impl ObjectId {
+    /// The address of the given bytes.
+    pub fn for_bytes(data: &[u8]) -> Self {
+        ObjectId(Sha256::digest(data))
+    }
+
+    /// Construct from raw digest bytes (used when parsing canonical trees
+    /// and deserializing traces).
+    pub fn from_raw(raw: [u8; 32]) -> Self {
+        ObjectId(raw)
+    }
+
+    /// Raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Full lowercase hex form.
+    pub fn to_hex(&self) -> String {
+        to_hex(&self.0)
+    }
+
+    /// Abbreviated (12 hex chars) form for logs.
+    pub fn short(&self) -> String {
+        self.to_hex()[..12].to_string()
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectId({})", self.short())
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.short())
+    }
+}
+
+/// An in-memory content-addressed store.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    objects: HashMap<ObjectId, Bytes>,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert content, returning its address. Idempotent.
+    pub fn put(&mut self, data: impl Into<Bytes>) -> ObjectId {
+        let bytes: Bytes = data.into();
+        let id = ObjectId::for_bytes(&bytes);
+        self.objects.entry(id).or_insert(bytes);
+        id
+    }
+
+    /// Fetch content by address.
+    pub fn get(&self, id: &ObjectId) -> Option<&Bytes> {
+        self.objects.get(id)
+    }
+
+    /// Fetch content as UTF-8 text (lossy for non-UTF-8 blobs).
+    pub fn get_text(&self, id: &ObjectId) -> Option<String> {
+        self.objects
+            .get(id)
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+    }
+
+    /// True iff the store holds this address.
+    pub fn contains(&self, id: &ObjectId) -> bool {
+        self.objects.contains_key(id)
+    }
+
+    /// Number of distinct objects stored.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total stored bytes (after deduplication).
+    pub fn total_bytes(&self) -> usize {
+        self.objects.values().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut store = ObjectStore::new();
+        let id = store.put(&b"fn main() {}"[..]);
+        assert_eq!(store.get(&id).unwrap().as_ref(), b"fn main() {}");
+        assert_eq!(store.get_text(&id).unwrap(), "fn main() {}");
+    }
+
+    #[test]
+    fn identical_content_deduplicates() {
+        let mut store = ObjectStore::new();
+        let a = store.put(&b"same"[..]);
+        let b = store.put(&b"same"[..]);
+        assert_eq!(a, b);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_bytes(), 4);
+    }
+
+    #[test]
+    fn distinct_content_distinct_ids() {
+        let mut store = ObjectStore::new();
+        let a = store.put(&b"alpha"[..]);
+        let b = store.put(&b"beta"[..]);
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn missing_object_is_none() {
+        let store = ObjectStore::new();
+        let phantom = ObjectId::for_bytes(b"never stored");
+        assert!(store.get(&phantom).is_none());
+        assert!(!store.contains(&phantom));
+    }
+
+    #[test]
+    fn id_is_stable_across_stores() {
+        let mut s1 = ObjectStore::new();
+        let mut s2 = ObjectStore::new();
+        assert_eq!(s1.put(&b"content"[..]), s2.put(&b"content"[..]));
+    }
+
+    #[test]
+    fn hex_forms() {
+        let id = ObjectId::for_bytes(b"");
+        assert_eq!(id.to_hex().len(), 64);
+        assert_eq!(id.short().len(), 12);
+        assert!(id.to_hex().starts_with(&id.short()));
+    }
+}

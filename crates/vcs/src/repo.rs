@@ -1,0 +1,444 @@
+//! The repository: object store + commit DAG + branches.
+//!
+//! The mainline branch (`main`) is the paper's *master*: SubmitQueue's
+//! core service is the only writer, and commits advance HEAD one change
+//! at a time. Feature branches model the developer life cycle of Figure 3
+//! (branch from HEAD, iterate, submit).
+
+use crate::commit::{Commit, CommitId, CommitMeta};
+use crate::error::VcsError;
+use crate::object::ObjectStore;
+use crate::patch::Patch;
+use crate::tree::Tree;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Name of the mainline branch.
+pub const MAINLINE: &str = "main";
+
+/// An in-memory repository.
+#[derive(Debug, Clone)]
+pub struct Repository {
+    store: ObjectStore,
+    commits: HashMap<CommitId, Commit>,
+    branches: HashMap<String, CommitId>,
+    root: CommitId,
+}
+
+impl Repository {
+    /// Initialize a repository whose root commit holds `initial` files
+    /// (path, content pairs).
+    ///
+    /// ```
+    /// use sq_vcs::{Patch, RepoPath, Repository, CommitMeta};
+    ///
+    /// let mut repo = Repository::init([("src/lib.rs", "fn f() {}")]).unwrap();
+    /// let id = repo
+    ///     .commit_patch(
+    ///         sq_vcs::repo::MAINLINE,
+    ///         &Patch::write(RepoPath::new("src/lib.rs").unwrap(), "fn f() { /* v2 */ }"),
+    ///         CommitMeta::new("alice", "update f", 1),
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(repo.head(), id);
+    /// assert_eq!(
+    ///     repo.read_file(id, &RepoPath::new("src/lib.rs").unwrap()).unwrap(),
+    ///     "fn f() { /* v2 */ }"
+    /// );
+    /// ```
+    pub fn init<'a>(initial: impl IntoIterator<Item = (&'a str, &'a str)>) -> Result<Repository> {
+        let mut store = ObjectStore::new();
+        let mut tree = Tree::new();
+        for (p, content) in initial {
+            let path = crate::path::RepoPath::new(p)?;
+            let id = store.put(content.as_bytes().to_vec());
+            tree.insert(path, id);
+        }
+        let tree_id = tree.store(&mut store);
+        let root = Commit::create(
+            &mut store,
+            vec![],
+            tree_id,
+            CommitMeta::new("system", "repository root", 0),
+        );
+        let root_id = root.id;
+        let mut commits = HashMap::new();
+        commits.insert(root_id, root);
+        let mut branches = HashMap::new();
+        branches.insert(MAINLINE.to_string(), root_id);
+        Ok(Repository {
+            store,
+            commits,
+            branches,
+            root: root_id,
+        })
+    }
+
+    /// The object store (read access).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Mutable object store access (for staging blobs).
+    pub fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
+    /// The root commit id.
+    pub fn root(&self) -> CommitId {
+        self.root
+    }
+
+    /// The mainline HEAD.
+    pub fn head(&self) -> CommitId {
+        self.branches[MAINLINE]
+    }
+
+    /// Tip of a named branch.
+    pub fn branch_tip(&self, name: &str) -> Result<CommitId> {
+        self.branches
+            .get(name)
+            .copied()
+            .ok_or_else(|| VcsError::UnknownBranch(name.to_string()))
+    }
+
+    /// Names of all branches, sorted.
+    pub fn branch_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.branches.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Look up a commit.
+    pub fn commit(&self, id: CommitId) -> Result<&Commit> {
+        self.commits.get(&id).ok_or(VcsError::UnknownCommit(id))
+    }
+
+    /// Materialize the snapshot at a commit.
+    pub fn tree_at(&self, id: CommitId) -> Result<Tree> {
+        let commit = self.commit(id)?;
+        let bytes = self
+            .store
+            .get(&commit.tree)
+            .ok_or_else(|| VcsError::MissingObject(commit.tree.to_hex()))?;
+        Tree::from_canonical_bytes(bytes)
+            .ok_or_else(|| VcsError::MissingObject(commit.tree.to_hex()))
+    }
+
+    /// The snapshot at the mainline HEAD.
+    pub fn head_tree(&self) -> Result<Tree> {
+        self.tree_at(self.head())
+    }
+
+    /// Read a file's text at a commit.
+    pub fn read_file(&self, at: CommitId, path: &crate::path::RepoPath) -> Result<String> {
+        let tree = self.tree_at(at)?;
+        let blob = tree
+            .get(path)
+            .ok_or_else(|| VcsError::MissingPath(path.clone()))?;
+        self.store
+            .get_text(&blob)
+            .ok_or_else(|| VcsError::MissingObject(blob.to_hex()))
+    }
+
+    /// Create a branch at `from` (defaults to mainline HEAD when `None`).
+    pub fn create_branch(&mut self, name: &str, from: Option<CommitId>) -> Result<CommitId> {
+        if self.branches.contains_key(name) {
+            return Err(VcsError::BranchExists(name.to_string()));
+        }
+        let base = from.unwrap_or_else(|| self.head());
+        self.commit(base)?; // validate
+        self.branches.insert(name.to_string(), base);
+        Ok(base)
+    }
+
+    /// Delete a branch (the mainline cannot be deleted).
+    pub fn delete_branch(&mut self, name: &str) -> Result<()> {
+        if name == MAINLINE {
+            return Err(VcsError::InvalidPath(MAINLINE.to_string()));
+        }
+        self.branches
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| VcsError::UnknownBranch(name.to_string()))
+    }
+
+    /// Apply `patch` on top of branch `branch` and advance it.
+    ///
+    /// Returns the new commit id. Refuses empty (no-op) commits, matching
+    /// the paper's model where every change must actually modify targets.
+    pub fn commit_patch(
+        &mut self,
+        branch: &str,
+        patch: &Patch,
+        meta: CommitMeta,
+    ) -> Result<CommitId> {
+        let tip = self.branch_tip(branch)?;
+        let base_tree = self.tree_at(tip)?;
+        if patch.is_empty() || patch.is_noop_on(&base_tree, &self.store) {
+            return Err(VcsError::EmptyCommit);
+        }
+        let new_tree = patch.apply(&base_tree, &mut self.store)?;
+        let tree_id = new_tree.store(&mut self.store);
+        let commit = Commit::create(&mut self.store, vec![tip], tree_id, meta);
+        let id = commit.id;
+        self.commits.insert(id, commit);
+        self.branches.insert(branch.to_string(), id);
+        Ok(id)
+    }
+
+    /// The snapshot that would result from applying `patch` at `base`,
+    /// without committing anything (used for speculative builds:
+    /// `H ⊕ C₁ ⊕ …` in the paper).
+    pub fn preview(&mut self, base: CommitId, patch: &Patch) -> Result<Tree> {
+        let base_tree = self.tree_at(base)?;
+        patch.apply(&base_tree, &mut self.store)
+    }
+
+    /// Linear history from `from` back to the root (inclusive), newest
+    /// first. Follows first parents.
+    pub fn log(&self, from: CommitId) -> Result<Vec<CommitId>> {
+        let mut out = Vec::new();
+        let mut cur = Some(from);
+        while let Some(id) = cur {
+            let c = self.commit(id)?;
+            out.push(id);
+            cur = c.parents.first().copied();
+        }
+        Ok(out)
+    }
+
+    /// True iff `ancestor` is reachable from `descendant` via first-parent
+    /// links.
+    pub fn is_ancestor(&self, ancestor: CommitId, descendant: CommitId) -> Result<bool> {
+        let mut cur = Some(descendant);
+        while let Some(id) = cur {
+            if id == ancestor {
+                return Ok(true);
+            }
+            cur = self.commit(id)?.parents.first().copied();
+        }
+        Ok(false)
+    }
+
+    /// Revert commit `target` on top of branch `branch`: compute the
+    /// inverse of the patch `target` introduced and commit it.
+    ///
+    /// This is the manual rollback operation the paper's introduction
+    /// describes as "tedious and error-prone" — provided here both for
+    /// fidelity and so tests can exercise red-master recovery in the
+    /// trunk-based baseline.
+    pub fn revert(&mut self, branch: &str, target: CommitId, meta: CommitMeta) -> Result<CommitId> {
+        let target_commit = self.commit(target)?.clone();
+        let parent = *target_commit
+            .parents
+            .first()
+            .ok_or(VcsError::UnknownCommit(target))?;
+        let parent_tree = self.tree_at(parent)?;
+        let target_tree = self.tree_at(target)?;
+        // Reconstruct the patch target introduced, then invert it against
+        // the *current* branch tip state.
+        let mut inverse = Patch::new();
+        for path in parent_tree.changed_paths(&target_tree) {
+            match parent_tree.get(path) {
+                Some(old_blob) => {
+                    let content = self
+                        .store
+                        .get_text(&old_blob)
+                        .ok_or_else(|| VcsError::MissingObject(old_blob.to_hex()))?;
+                    inverse.push(crate::patch::FileOp::Write {
+                        path: path.clone(),
+                        content,
+                    });
+                }
+                None => inverse.push(crate::patch::FileOp::Delete { path: path.clone() }),
+            }
+        }
+        self.commit_patch(branch, &inverse, meta)
+    }
+
+    /// Number of commits known to the repository.
+    pub fn commit_count(&self) -> usize {
+        self.commits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::RepoPath;
+
+    fn path(s: &str) -> RepoPath {
+        RepoPath::new(s).unwrap()
+    }
+
+    fn meta(msg: &str) -> CommitMeta {
+        CommitMeta::new("dev", msg, 0)
+    }
+
+    fn repo() -> Repository {
+        Repository::init([("src/lib.rs", "fn lib() {}"), ("README.md", "# repo")]).unwrap()
+    }
+
+    #[test]
+    fn init_creates_mainline_with_root() {
+        let r = repo();
+        assert_eq!(r.head(), r.root());
+        assert_eq!(r.branch_names(), vec![MAINLINE]);
+        let tree = r.head_tree().unwrap();
+        assert_eq!(tree.len(), 2);
+        assert_eq!(r.read_file(r.head(), &path("README.md")).unwrap(), "# repo");
+    }
+
+    #[test]
+    fn commit_advances_head() {
+        let mut r = repo();
+        let patch = Patch::write(path("src/lib.rs"), "fn lib() { /* v2 */ }");
+        let id = r.commit_patch(MAINLINE, &patch, meta("v2")).unwrap();
+        assert_eq!(r.head(), id);
+        assert_eq!(
+            r.read_file(id, &path("src/lib.rs")).unwrap(),
+            "fn lib() { /* v2 */ }"
+        );
+        // Old commit still readable (history is immutable).
+        assert_eq!(
+            r.read_file(r.root(), &path("src/lib.rs")).unwrap(),
+            "fn lib() {}"
+        );
+    }
+
+    #[test]
+    fn empty_commit_rejected() {
+        let mut r = repo();
+        assert!(matches!(
+            r.commit_patch(MAINLINE, &Patch::new(), meta("noop")),
+            Err(VcsError::EmptyCommit)
+        ));
+        // A write of identical content is also a no-op.
+        let same = Patch::write(path("README.md"), "# repo");
+        assert!(matches!(
+            r.commit_patch(MAINLINE, &same, meta("noop")),
+            Err(VcsError::EmptyCommit)
+        ));
+    }
+
+    #[test]
+    fn branches_isolate_work() {
+        let mut r = repo();
+        r.create_branch("feature", None).unwrap();
+        let patch = Patch::write(path("src/feat.rs"), "fn feat() {}");
+        r.commit_patch("feature", &patch, meta("feat")).unwrap();
+        // Mainline unaffected.
+        assert!(!r.head_tree().unwrap().contains(&path("src/feat.rs")));
+        let tip = r.branch_tip("feature").unwrap();
+        assert!(r.tree_at(tip).unwrap().contains(&path("src/feat.rs")));
+    }
+
+    #[test]
+    fn duplicate_branch_rejected() {
+        let mut r = repo();
+        r.create_branch("x", None).unwrap();
+        assert!(matches!(
+            r.create_branch("x", None),
+            Err(VcsError::BranchExists(_))
+        ));
+    }
+
+    #[test]
+    fn delete_branch_guards_mainline() {
+        let mut r = repo();
+        r.create_branch("x", None).unwrap();
+        r.delete_branch("x").unwrap();
+        assert!(r.delete_branch("x").is_err());
+        assert!(r.delete_branch(MAINLINE).is_err());
+    }
+
+    #[test]
+    fn log_walks_history_newest_first() {
+        let mut r = repo();
+        let c1 = r
+            .commit_patch(MAINLINE, &Patch::write(path("a"), "1"), meta("c1"))
+            .unwrap();
+        let c2 = r
+            .commit_patch(MAINLINE, &Patch::write(path("a"), "2"), meta("c2"))
+            .unwrap();
+        let log = r.log(r.head()).unwrap();
+        assert_eq!(log, vec![c2, c1, r.root()]);
+    }
+
+    #[test]
+    fn ancestry() {
+        let mut r = repo();
+        let c1 = r
+            .commit_patch(MAINLINE, &Patch::write(path("a"), "1"), meta("c1"))
+            .unwrap();
+        r.create_branch("side", Some(r.root())).unwrap();
+        let s1 = r
+            .commit_patch("side", &Patch::write(path("b"), "1"), meta("s1"))
+            .unwrap();
+        assert!(r.is_ancestor(r.root(), c1).unwrap());
+        assert!(r.is_ancestor(r.root(), s1).unwrap());
+        assert!(!r.is_ancestor(c1, s1).unwrap());
+        assert!(!r.is_ancestor(s1, c1).unwrap());
+    }
+
+    #[test]
+    fn preview_does_not_commit() {
+        let mut r = repo();
+        let head = r.head();
+        let t = r
+            .preview(head, &Patch::write(path("ghost.rs"), "spooky"))
+            .unwrap();
+        assert!(t.contains(&path("ghost.rs")));
+        assert_eq!(r.head(), head);
+        assert!(!r.head_tree().unwrap().contains(&path("ghost.rs")));
+    }
+
+    #[test]
+    fn revert_restores_previous_content() {
+        let mut r = repo();
+        let bad = r
+            .commit_patch(
+                MAINLINE,
+                &Patch::from_ops([
+                    crate::patch::FileOp::Write {
+                        path: path("src/lib.rs"),
+                        content: "broken!".into(),
+                    },
+                    crate::patch::FileOp::Write {
+                        path: path("new.rs"),
+                        content: "added".into(),
+                    },
+                ]),
+                meta("bad change"),
+            )
+            .unwrap();
+        let revert_id = r.revert(MAINLINE, bad, meta("revert bad")).unwrap();
+        assert_eq!(r.head(), revert_id);
+        assert_eq!(
+            r.read_file(revert_id, &path("src/lib.rs")).unwrap(),
+            "fn lib() {}"
+        );
+        assert!(!r.head_tree().unwrap().contains(&path("new.rs")));
+        // The bad commit is still in history (revert, not rewrite).
+        assert!(r.is_ancestor(bad, revert_id).unwrap());
+    }
+
+    #[test]
+    fn commit_ids_are_unique_along_history() {
+        let mut r = repo();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(r.head());
+        for i in 0..20 {
+            let id = r
+                .commit_patch(
+                    MAINLINE,
+                    &Patch::write(path("counter"), format!("{i}")),
+                    CommitMeta::new("dev", "tick", i),
+                )
+                .unwrap();
+            assert!(seen.insert(id), "duplicate commit id at step {i}");
+        }
+        assert_eq!(r.commit_count(), 21);
+    }
+}

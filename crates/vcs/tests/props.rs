@@ -1,0 +1,134 @@
+//! Property tests for the VCS substrate: the diff engine, patch algebra,
+//! merges and canonical encodings.
+
+use proptest::prelude::*;
+use sq_vcs::diff::{apply_hunks, diff_lines, DiffOp};
+use sq_vcs::merge::{merge_file, FileMerge};
+use sq_vcs::{FileOp, ObjectStore, Patch, RepoPath, Tree};
+
+/// Short line-based texts over a tiny alphabet (maximizes collisions,
+/// which is what stresses diff/merge logic).
+fn arb_text() -> impl proptest::strategy::Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")],
+        0..12,
+    )
+    .prop_map(|lines| lines.join("\n"))
+}
+
+fn arb_path() -> impl proptest::strategy::Strategy<Value = RepoPath> {
+    (0u8..4, 0u8..4).prop_map(|(d, f)| RepoPath::new(format!("d{d}/f{f}.rs")).unwrap())
+}
+
+fn arb_patch() -> impl proptest::strategy::Strategy<Value = Patch> {
+    proptest::collection::vec(
+        (arb_path(), arb_text()).prop_map(|(path, content)| FileOp::Write { path, content }),
+        1..5,
+    )
+    .prop_map(Patch::from_ops)
+}
+
+/// A base tree containing every path the patch generator can produce.
+fn full_tree(store: &mut ObjectStore) -> Tree {
+    let mut t = Tree::new();
+    for d in 0..4 {
+        for f in 0..4 {
+            let id = store.put(format!("base d{d} f{f}").into_bytes());
+            t.insert(RepoPath::new(format!("d{d}/f{f}.rs")).unwrap(), id);
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn diff_reconstructs_target(old in arb_text(), new in arb_text()) {
+        let hunks = diff_lines(&old, &new);
+        let rebuilt = apply_hunks(&old, &new, &hunks);
+        let expected = new.lines().collect::<Vec<_>>().join("\n");
+        prop_assert_eq!(rebuilt, expected);
+    }
+
+    #[test]
+    fn diff_of_identical_text_is_all_equal(text in arb_text()) {
+        let hunks = diff_lines(&text, &text);
+        prop_assert!(hunks.iter().all(|h| h.op == DiffOp::Equal));
+    }
+
+    #[test]
+    fn diff_edit_count_bounded_by_line_counts(old in arb_text(), new in arb_text()) {
+        let hunks = diff_lines(&old, &new);
+        let deleted: usize = hunks.iter().filter(|h| h.op == DiffOp::Delete).map(|h| h.old_len).sum();
+        let inserted: usize = hunks.iter().filter(|h| h.op == DiffOp::Insert).map(|h| h.new_len).sum();
+        prop_assert!(deleted <= old.lines().count());
+        prop_assert!(inserted <= new.lines().count());
+    }
+
+    #[test]
+    fn merge_takes_sole_edit(base in arb_text(), edit in arb_text()) {
+        // One side unchanged: merge must take the other side verbatim.
+        match merge_file(&base, &edit, &base) {
+            FileMerge::Clean(out) => prop_assert_eq!(out, edit),
+            FileMerge::Conflict => prop_assert!(false, "sole edit cannot conflict"),
+        }
+    }
+
+    #[test]
+    fn merge_is_symmetric_in_verdict(base in arb_text(), a in arb_text(), b in arb_text()) {
+        let ab = matches!(merge_file(&base, &a, &b), FileMerge::Conflict);
+        let ba = matches!(merge_file(&base, &b, &a), FileMerge::Conflict);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn patch_apply_then_invert_is_identity(patch in arb_patch()) {
+        let mut store = ObjectStore::new();
+        let base = full_tree(&mut store);
+        let inverse = patch.invert(&base, &store).unwrap();
+        let applied = patch.apply(&base, &mut store).unwrap();
+        let restored = inverse.apply(&applied, &mut store).unwrap();
+        prop_assert_eq!(restored, base);
+    }
+
+    #[test]
+    fn patch_compose_matches_sequential_apply(p1 in arb_patch(), p2 in arb_patch()) {
+        let mut store = ObjectStore::new();
+        let base = full_tree(&mut store);
+        let seq = p2.apply(&p1.apply(&base, &mut store).unwrap(), &mut store).unwrap();
+        let composed = p1.compose(&p2).apply(&base, &mut store).unwrap();
+        prop_assert_eq!(seq, composed);
+    }
+
+    #[test]
+    fn disjoint_patches_commute(p1 in arb_patch(), p2 in arb_patch()) {
+        prop_assume!(!p1.touches_common_path(&p2));
+        let mut store = ObjectStore::new();
+        let base = full_tree(&mut store);
+        let ab = p2.apply(&p1.apply(&base, &mut store).unwrap(), &mut store).unwrap();
+        let ba = p1.apply(&p2.apply(&base, &mut store).unwrap(), &mut store).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn tree_canonical_roundtrip(patch in arb_patch()) {
+        let mut store = ObjectStore::new();
+        let base = full_tree(&mut store);
+        let tree = patch.apply(&base, &mut store).unwrap();
+        let bytes = tree.canonical_bytes();
+        let parsed = Tree::from_canonical_bytes(&bytes).unwrap();
+        prop_assert_eq!(parsed, tree);
+    }
+
+    #[test]
+    fn sha256_streaming_matches_one_shot(data in proptest::collection::vec(any::<u8>(), 0..300), split in 0usize..300) {
+        use sq_vcs::Sha256;
+        let split = split.min(data.len());
+        let one_shot = Sha256::digest(&data);
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), one_shot);
+    }
+}

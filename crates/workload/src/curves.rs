@@ -1,0 +1,191 @@
+//! Reproduction of the paper's Section 2 curves (Figures 1 and 2).
+//!
+//! Both curves are *emergent properties* of the generative model, not
+//! hard-coded outputs: Figure 1 falls out of the Zipf part footprints
+//! plus the pairwise conflict coin, and Figure 2 falls out of mainline
+//! drift accumulating potentially conflicting commits over a change's
+//! staleness window.
+
+use crate::change::ChangeSpec;
+use crate::generate::WorkloadBuilder;
+use crate::params::WorkloadParams;
+use crate::truth::GroundTruth;
+use sq_sim::Xoshiro256StarStar;
+
+/// Empirical probability that the n-th of `n` concurrent, *potentially
+/// conflicting* changes has a real conflict with at least one of the
+/// others — Figure 1's y-axis.
+///
+/// Methodology mirrors the paper's definition (Section 2.1): condition
+/// on all `n` changes touching a common logical part, then ask how often
+/// the last one conflicts for real.
+pub fn real_conflict_probability(
+    params: &WorkloadParams,
+    n_concurrent: usize,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    assert!(n_concurrent >= 2);
+    let truth = GroundTruth::new(seed, params.pairwise_conflict_prob);
+    // Generate a pool of changes; group into windows of n that share a
+    // part with the subject (potentially conflicting by construction:
+    // give every trial's group a shared part by filtering).
+    let w = WorkloadBuilder::new(params.clone())
+        .seed(seed)
+        .n_changes(trials * n_concurrent * 2)
+        .build()
+        .expect("params validated by caller");
+    let mut hits = 0usize;
+    let mut done = 0usize;
+    let mut pool = w.changes.iter();
+    'outer: while done < trials {
+        // Take the next change as subject; collect n−1 later changes that
+        // potentially conflict with it.
+        let Some(subject) = pool.next() else { break };
+        let mut others: Vec<&ChangeSpec> = Vec::with_capacity(n_concurrent - 1);
+        for c in w.changes.iter().filter(|c| c.id != subject.id) {
+            if subject.potentially_conflicts(c) {
+                others.push(c);
+                if others.len() == n_concurrent - 1 {
+                    if others.iter().any(|o| truth.real_conflict(subject, o)) {
+                        hits += 1;
+                    }
+                    done += 1;
+                    continue 'outer;
+                }
+            }
+        }
+        // Not enough potentially-conflicting partners for this subject.
+    }
+    if done == 0 {
+        return 0.0;
+    }
+    hits as f64 / done as f64
+}
+
+/// Figure 2, emergent form: probability that a change branched
+/// `staleness_hours` ago breaks the mainline, because the mainline has
+/// drifted by organically-committed changes it really conflicts with.
+///
+/// `organic_rate_per_hour` is the mainline's own commit rate while the
+/// change was in development (distinct from the controlled replay rates
+/// of Section 8; a production mainline absorbs on the order of ten
+/// commits an hour).
+pub fn breakage_vs_staleness(
+    params: &WorkloadParams,
+    staleness_hours: f64,
+    organic_rate_per_hour: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    assert!(staleness_hours >= 0.0 && organic_rate_per_hour >= 0.0);
+    let truth = GroundTruth::new(seed, params.pairwise_conflict_prob);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 0x51A1E);
+    // One big pool: subjects and drifted mainline commits come from the
+    // same generative distribution.
+    let expected_drift = (staleness_hours * organic_rate_per_hour).ceil() as usize;
+    let w = WorkloadBuilder::new(params.clone())
+        .seed(seed)
+        .n_changes((trials * (expected_drift + 2)).clamp(1000, 400_000))
+        .build()
+        .expect("params validated by caller");
+    let mean_drift = staleness_hours * organic_rate_per_hour;
+    let mut broken = 0usize;
+    for t in 0..trials {
+        // Subject: a pseudo-random pool member.
+        let subject = &w.changes[(rng.next_below(w.changes.len() as u64)) as usize];
+        // Drift count: Poisson(mean_drift) via inversion (small means).
+        let k = poisson(mean_drift, &mut rng);
+        let mut conflict = false;
+        for _ in 0..k {
+            let other = &w.changes[(rng.next_below(w.changes.len() as u64)) as usize];
+            if other.id != subject.id && truth.real_conflict(subject, other) {
+                conflict = true;
+                break;
+            }
+        }
+        let _ = t;
+        if conflict {
+            broken += 1;
+        }
+    }
+    broken as f64 / trials.max(1) as f64
+}
+
+/// Sample a Poisson(λ) count. Knuth's method for small λ, normal
+/// approximation above 30 (drift counts stay small in practice).
+fn poisson(lambda: f64, rng: &mut Xoshiro256StarStar) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation, clamped at zero.
+        let u1 = rng.next_f64().max(1e-12);
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        return (lambda + z * lambda.sqrt()).round().max(0.0) as usize;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.next_f64();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_anchor_points() {
+        let params = WorkloadParams::ios();
+        let p2 = real_conflict_probability(&params, 2, 1500, 31);
+        let p16 = real_conflict_probability(&params, 16, 400, 31);
+        // Paper: ≈5% at n=2, ≈40% at n=16.
+        assert!((0.02..0.10).contains(&p2), "p2 = {p2}");
+        assert!((0.25..0.60).contains(&p16), "p16 = {p16}");
+    }
+
+    #[test]
+    fn figure1_is_monotone_in_n() {
+        let params = WorkloadParams::ios();
+        let p4 = real_conflict_probability(&params, 4, 600, 37);
+        let p12 = real_conflict_probability(&params, 12, 300, 37);
+        assert!(p12 > p4, "p4 = {p4}, p12 = {p12}");
+    }
+
+    #[test]
+    fn figure2_increases_with_staleness() {
+        let params = WorkloadParams::ios();
+        let p_fresh = breakage_vs_staleness(&params, 0.1, 12.0, 1200, 41);
+        let p_1h = breakage_vs_staleness(&params, 1.0, 12.0, 1200, 41);
+        let p_10h = breakage_vs_staleness(&params, 10.0, 12.0, 1200, 41);
+        assert!(p_fresh <= p_1h + 0.02, "fresh {p_fresh} vs 1h {p_1h}");
+        assert!(p_1h < p_10h, "1h {p_1h} vs 10h {p_10h}");
+        // Paper: 1–10 h staleness already carries a 10–20% breakage risk.
+        assert!((0.01..0.40).contains(&p_1h), "p_1h = {p_1h}");
+    }
+
+    #[test]
+    fn zero_staleness_never_breaks() {
+        let params = WorkloadParams::ios();
+        let p = breakage_vs_staleness(&params, 0.0, 12.0, 300, 43);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| poisson(4.5, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.5).abs() < 0.1, "mean = {mean}");
+        // Large-lambda branch.
+        let mean_big: f64 = (0..n).map(|_| poisson(60.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean_big - 60.0).abs() < 1.0, "mean = {mean_big}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Build-duration model (Figure 9).
+//!
+//! Figure 9 plots the CDF of build durations for iOS/Android changes:
+//! roughly log-normal with a median near half an hour and a tail capped
+//! around two hours. The truncated log-normal here reproduces that shape;
+//! `fig09` in the bench crate prints the CDF for visual comparison.
+
+use crate::params::WorkloadParams;
+use sq_sim::dist::{Distribution, LogNormal, Truncated};
+use sq_sim::{SimDuration, Xoshiro256StarStar};
+
+/// Sampler for one platform's build durations.
+#[derive(Debug, Clone, Copy)]
+pub struct DurationModel {
+    dist: Truncated<LogNormal>,
+}
+
+impl DurationModel {
+    /// Build from workload parameters.
+    pub fn new(params: &WorkloadParams) -> Self {
+        DurationModel {
+            dist: Truncated::new(
+                LogNormal::with_median(params.duration_median_mins, params.duration_sigma),
+                params.duration_min_mins,
+                params.duration_max_mins,
+            ),
+        }
+    }
+
+    /// Draw one build duration.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> SimDuration {
+        SimDuration::from_mins_f64(self.dist.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::WorkloadParams;
+
+    fn samples(params: &WorkloadParams, n: usize) -> Vec<f64> {
+        let model = DurationModel::new(params);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+        (0..n)
+            .map(|_| model.sample(&mut rng).as_mins_f64())
+            .collect()
+    }
+
+    #[test]
+    fn median_matches_figure9() {
+        let params = WorkloadParams::ios();
+        let mut xs = samples(&params, 50_001);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[25_000];
+        assert!(
+            (median - params.duration_median_mins).abs() < 1.5,
+            "median = {median}"
+        );
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let params = WorkloadParams::ios();
+        for x in samples(&params, 20_000) {
+            assert!(x >= params.duration_min_mins && x <= params.duration_max_mins);
+        }
+    }
+
+    #[test]
+    fn tail_exists_but_is_minority() {
+        // Figure 9: some builds take over an hour, but most are well
+        // under. Expect 2–20% above 60 minutes for iOS.
+        let xs = samples(&WorkloadParams::ios(), 50_000);
+        let over_hour = xs.iter().filter(|&&x| x > 60.0).count() as f64 / xs.len() as f64;
+        assert!(over_hour > 0.01 && over_hour < 0.25, "tail = {over_hour}");
+    }
+
+    #[test]
+    fn android_is_similar_but_not_identical() {
+        let ios = samples(&WorkloadParams::ios(), 20_000);
+        let android = samples(&WorkloadParams::android(), 20_000);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        // Close (the paper overlays them) but the medians differ by 2 min.
+        assert!((mean(&ios) - mean(&android)).abs() < 10.0);
+        assert!(mean(&ios) > mean(&android));
+    }
+}

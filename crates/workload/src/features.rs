@@ -1,0 +1,155 @@
+//! Feature extraction for the prediction models (paper Section 7.2).
+//!
+//! The paper extracted ~100 handpicked features in four groups — change,
+//! revision, developer, and dynamic speculation counters — and found the
+//! strongest positive signals were (1) succeeded-speculation count,
+//! (2) revert/test plans, and (3) pre-submit test status, with failed
+//! speculations and resubmission count most negative. The schema here is
+//! a condensed version of exactly those groups.
+
+use crate::change::{ChangeSpec, DevProfile};
+
+/// Names of the success-model features, in column order.
+pub const SUCCESS_FEATURES: &[&str] = &[
+    // Change group.
+    "affected_targets",
+    "git_commits",
+    "files_changed",
+    "lines_added",
+    "lines_removed",
+    "presubmit_passed",
+    // Revision group.
+    "revision_attempt",
+    "has_revert_plan",
+    "has_test_plan",
+    // Developer group.
+    "dev_experience",
+    "dev_tenure_months",
+    "dev_fragile_paths",
+    // Dynamic speculation group (0 at submission; updated as the planner
+    // observes speculation outcomes).
+    "speculations_succeeded",
+    "speculations_failed",
+];
+
+/// Names of the pairwise conflict-model features.
+pub const CONFLICT_FEATURES: &[&str] = &[
+    "same_team",
+    "common_parts",
+    "min_parts",
+    "max_parts",
+    "sum_affected_targets",
+    "either_alters_graph",
+    "both_presubmit_passed",
+];
+
+/// Extract the success-model feature vector for one change.
+///
+/// `spec_ok`/`spec_fail` are the dynamic speculation counters: how many
+/// speculative builds containing this change have succeeded/failed so
+/// far. At submission both are zero.
+pub fn success_features(
+    change: &ChangeSpec,
+    dev: &DevProfile,
+    spec_ok: u32,
+    spec_fail: u32,
+) -> Vec<f64> {
+    vec![
+        change.affected_targets as f64,
+        change.git_commits as f64,
+        change.files_changed as f64,
+        (change.lines_added as f64).ln_1p(),
+        (change.lines_removed as f64).ln_1p(),
+        bool_f(change.presubmit_passed),
+        change.revision_attempt as f64,
+        bool_f(change.has_revert_plan),
+        bool_f(change.has_test_plan),
+        dev.experience,
+        dev.tenure_months,
+        bool_f(dev.fragile_code_paths),
+        spec_ok as f64,
+        spec_fail as f64,
+    ]
+}
+
+/// Extract the pairwise conflict-model feature vector.
+pub fn conflict_features(
+    a: &ChangeSpec,
+    dev_a: &DevProfile,
+    b: &ChangeSpec,
+    dev_b: &DevProfile,
+) -> Vec<f64> {
+    let common = a.parts.iter().filter(|p| b.parts.contains(p)).count() as f64;
+    vec![
+        bool_f(dev_a.team == dev_b.team),
+        common,
+        a.parts.len().min(b.parts.len()) as f64,
+        a.parts.len().max(b.parts.len()) as f64,
+        (a.affected_targets + b.affected_targets) as f64,
+        bool_f(a.alters_build_graph || b.alters_build_graph),
+        bool_f(a.presubmit_passed && b.presubmit_passed),
+    ]
+}
+
+fn bool_f(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{Workload, WorkloadBuilder};
+    use crate::params::WorkloadParams;
+
+    fn workload() -> Workload {
+        WorkloadBuilder::new(WorkloadParams::ios())
+            .seed(5)
+            .n_changes(100)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn success_vector_matches_schema_width() {
+        let w = workload();
+        let c = &w.changes[0];
+        let v = success_features(c, w.developer(c.developer), 2, 1);
+        assert_eq!(v.len(), SUCCESS_FEATURES.len());
+        // Dynamic counters land in the last two columns.
+        assert_eq!(v[v.len() - 2], 2.0);
+        assert_eq!(v[v.len() - 1], 1.0);
+    }
+
+    #[test]
+    fn conflict_vector_matches_schema_width() {
+        let w = workload();
+        let (a, b) = (&w.changes[0], &w.changes[1]);
+        let v = conflict_features(a, w.developer(a.developer), b, w.developer(b.developer));
+        assert_eq!(v.len(), CONFLICT_FEATURES.len());
+    }
+
+    #[test]
+    fn common_parts_feature_counts_overlap() {
+        let w = workload();
+        let c = &w.changes[0];
+        let dev = w.developer(c.developer);
+        let v = conflict_features(c, dev, c, dev);
+        // Self-pair: common parts = own part count.
+        assert_eq!(v[1], c.parts.len() as f64);
+        assert_eq!(v[0], 1.0); // same team (same developer)
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let w = workload();
+        for c in &w.changes {
+            for x in success_features(c, w.developer(c.developer), 0, 0) {
+                assert!(x.is_finite());
+            }
+        }
+    }
+}

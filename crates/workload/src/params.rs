@@ -1,0 +1,165 @@
+//! Calibrated workload parameters.
+//!
+//! Every constant here is traceable to a number the paper publishes; the
+//! presets bundle them per monorepo platform.
+
+use crate::change::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Tunable knobs of the generative model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Which monorepo this models.
+    pub platform: Platform,
+    /// Changes per hour (the paper sweeps 100–500).
+    pub changes_per_hour: f64,
+    /// Number of logical repository parts (hot-spot categories a change
+    /// can touch). Parts are what make changes *potentially conflicting*.
+    pub n_parts: usize,
+    /// Zipf exponent of part popularity: higher ⇒ more contention on a
+    /// few hot parts.
+    pub part_zipf_s: f64,
+    /// Mean number of parts one change touches.
+    pub mean_parts_per_change: f64,
+    /// Median build duration in minutes (Figure 9: ≈ 27 for iOS).
+    pub duration_median_mins: f64,
+    /// Log-space sigma of the duration log-normal.
+    pub duration_sigma: f64,
+    /// Duration cap in minutes (Figure 9 x-axis ends at 120).
+    pub duration_max_mins: f64,
+    /// Duration floor in minutes.
+    pub duration_min_mins: f64,
+    /// Probability that two *potentially conflicting* (part-overlapping)
+    /// changes really conflict (Figure 1: n=2 point ⇒ ≈ 0.05).
+    pub pairwise_conflict_prob: f64,
+    /// Fraction of changes that alter the build graph (Section 5.2:
+    /// 7.9% iOS, 1.6% backend).
+    pub graph_change_fraction: f64,
+    /// Number of developers in the population.
+    pub n_developers: usize,
+    /// Base success logit; the developer/change features shift it (see
+    /// `truth::success_probability`). Calibrated so ≈85% of changes pass
+    /// their own build steps in isolation.
+    pub success_base_logit: f64,
+}
+
+impl WorkloadParams {
+    /// The iOS monorepo preset.
+    pub fn ios() -> Self {
+        WorkloadParams {
+            platform: Platform::Ios,
+            changes_per_hour: 100.0,
+            n_parts: 300,
+            part_zipf_s: 0.9,
+            mean_parts_per_change: 1.4,
+            duration_median_mins: 27.0,
+            duration_sigma: 0.55,
+            duration_max_mins: 120.0,
+            duration_min_mins: 4.0,
+            pairwise_conflict_prob: 0.05,
+            graph_change_fraction: 0.079,
+            n_developers: 400,
+            success_base_logit: 2.2,
+        }
+    }
+
+    /// The Android monorepo preset (slightly faster builds, similar
+    /// conflict profile — Figure 9 shows near-identical CDFs).
+    pub fn android() -> Self {
+        WorkloadParams {
+            platform: Platform::Android,
+            duration_median_mins: 25.0,
+            duration_sigma: 0.50,
+            pairwise_conflict_prob: 0.045,
+            ..Self::ios()
+        }
+    }
+
+    /// The backend monorepo preset (Section 5.2's 1.6% graph-change rate).
+    pub fn backend() -> Self {
+        WorkloadParams {
+            platform: Platform::Backend,
+            duration_median_mins: 12.0,
+            duration_sigma: 0.6,
+            duration_max_mins: 60.0,
+            duration_min_mins: 1.0,
+            graph_change_fraction: 0.016,
+            n_parts: 400,
+            part_zipf_s: 0.9,
+            ..Self::ios()
+        }
+    }
+
+    /// Set the ingestion rate (changes per hour), as the paper's
+    /// controlled replays do.
+    pub fn with_rate(mut self, changes_per_hour: f64) -> Self {
+        assert!(changes_per_hour > 0.0);
+        self.changes_per_hour = changes_per_hour;
+        self
+    }
+
+    /// Basic sanity checks; called by the builder.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.changes_per_hour <= 0.0 {
+            return Err("changes_per_hour must be positive".into());
+        }
+        if self.n_parts == 0 {
+            return Err("n_parts must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.pairwise_conflict_prob) {
+            return Err("pairwise_conflict_prob must be a probability".into());
+        }
+        if !(0.0..=1.0).contains(&self.graph_change_fraction) {
+            return Err("graph_change_fraction must be a probability".into());
+        }
+        if self.duration_min_mins <= 0.0 || self.duration_min_mins > self.duration_median_mins {
+            return Err("duration_min must be positive and below the median".into());
+        }
+        if self.duration_max_mins < self.duration_median_mins {
+            return Err("duration_max must exceed the median".into());
+        }
+        if self.n_developers == 0 {
+            return Err("need at least one developer".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        WorkloadParams::ios().validate().unwrap();
+        WorkloadParams::android().validate().unwrap();
+        WorkloadParams::backend().validate().unwrap();
+    }
+
+    #[test]
+    fn presets_match_paper_constants() {
+        assert!((WorkloadParams::ios().graph_change_fraction - 0.079).abs() < 1e-12);
+        assert!((WorkloadParams::backend().graph_change_fraction - 0.016).abs() < 1e-12);
+        assert!((WorkloadParams::ios().pairwise_conflict_prob - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_rate_overrides() {
+        let p = WorkloadParams::ios().with_rate(500.0);
+        assert_eq!(p.changes_per_hour, 500.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut p = WorkloadParams::ios();
+        p.pairwise_conflict_prob = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = WorkloadParams::ios();
+        p.n_parts = 0;
+        assert!(p.validate().is_err());
+        let mut p = WorkloadParams::ios();
+        p.duration_max_mins = 1.0;
+        assert!(p.validate().is_err());
+    }
+}

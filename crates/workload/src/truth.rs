@@ -1,0 +1,240 @@
+//! The ground-truth oracle.
+//!
+//! The simulation needs an answer to "would build `B_{S∪{i}}` succeed?"
+//! that is (a) consistent across strategies replaying the same trace,
+//! (b) consistent with the paper's definition of real conflicts
+//! (Section 2.1: changes 1..n−1 fine, change n fine alone, all together
+//! broken ⇒ change n conflicts with some earlier change), and (c)
+//! independent of the *order* in which strategies ask.
+//!
+//! We therefore make every outcome a pure function of the workload seed:
+//! a change's isolated outcome is drawn at generation time
+//! (`intrinsic_success`), and the pairwise real-conflict relation is a
+//! deterministic hash coin over the unordered id pair, flipped only for
+//! part-overlapping (potentially conflicting) pairs.
+
+use crate::change::ChangeSpec;
+use serde::{Deserialize, Serialize};
+use sq_sim::rng::SplitMix64;
+
+/// Deterministic uniform in [0,1) keyed by (seed, a, b) with a ≤ b.
+fn pair_unit(seed: u64, a: u64, b: u64) -> f64 {
+    let mut h = SplitMix64::new(
+        seed ^ a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.wrapping_mul(0xC2B2AE3D27D4EB4F),
+    );
+    // Two rounds to decorrelate from the key structure.
+    h.next_u64();
+    (h.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The oracle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    seed: u64,
+    /// Probability a potentially-conflicting pair really conflicts
+    /// (Figure 1's n=2 intercept).
+    pairwise_conflict_prob: f64,
+}
+
+impl GroundTruth {
+    /// Construct with the workload seed and calibrated pair probability.
+    pub fn new(seed: u64, pairwise_conflict_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&pairwise_conflict_prob));
+        GroundTruth {
+            seed,
+            pairwise_conflict_prob,
+        }
+    }
+
+    /// Would this change's build steps pass in isolation against the
+    /// HEAD it was generated from?
+    pub fn succeeds_alone(&self, c: &ChangeSpec) -> bool {
+        c.intrinsic_success
+    }
+
+    /// Do two changes *really* conflict (per the paper's Section 2.1
+    /// definition)? Symmetric, deterministic, and false unless the
+    /// changes are potentially conflicting (touch a common part).
+    pub fn real_conflict(&self, a: &ChangeSpec, b: &ChangeSpec) -> bool {
+        if a.id == b.id || !a.potentially_conflicts(b) {
+            return false;
+        }
+        let (lo, hi) = if a.id.0 <= b.id.0 {
+            (a.id.0, b.id.0)
+        } else {
+            (b.id.0, a.id.0)
+        };
+        pair_unit(self.seed, lo, hi) < self.pairwise_conflict_prob
+    }
+
+    /// Outcome of a speculative build `B_{S ∪ {subject}}`: the build
+    /// applies `subject` on top of the already-validated prefix `S`, so
+    /// it succeeds iff the subject passes in isolation and conflicts with
+    /// no member of the prefix.
+    pub fn build_succeeds<'a>(
+        &self,
+        subject: &ChangeSpec,
+        prefix: impl IntoIterator<Item = &'a ChangeSpec>,
+    ) -> bool {
+        if !subject.intrinsic_success {
+            return false;
+        }
+        prefix.into_iter().all(|p| !self.real_conflict(subject, p))
+    }
+
+    /// Outcome of building a whole batch at once (batching baselines):
+    /// succeeds iff every member succeeds alone and no pair conflicts.
+    pub fn batch_succeeds(&self, batch: &[&ChangeSpec]) -> bool {
+        for (i, a) in batch.iter().enumerate() {
+            if !a.intrinsic_success {
+                return false;
+            }
+            for b in &batch[i + 1..] {
+                if self.real_conflict(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::change::{ChangeId, DevId, PartId};
+    use sq_sim::{SimDuration, SimTime};
+
+    fn spec(id: u64, parts: &[u32], ok: bool) -> ChangeSpec {
+        ChangeSpec {
+            id: ChangeId(id),
+            submit_time: SimTime::ZERO,
+            build_duration: SimDuration::from_mins(30),
+            developer: DevId(0),
+            revision: id,
+            revision_attempt: 0,
+            has_revert_plan: false,
+            has_test_plan: true,
+            files_changed: 1,
+            lines_added: 10,
+            lines_removed: 0,
+            git_commits: 1,
+            affected_targets: 2,
+            presubmit_passed: true,
+            parts: parts.iter().map(|&p| PartId(p)).collect(),
+            alters_build_graph: false,
+            intrinsic_success: ok,
+            intrinsic_success_prob: if ok { 0.9 } else { 0.1 },
+        }
+    }
+
+    #[test]
+    fn conflict_requires_part_overlap() {
+        let gt = GroundTruth::new(7, 1.0); // always conflict if possible
+        let a = spec(1, &[1], true);
+        let b = spec(2, &[1], true);
+        let c = spec(3, &[2], true);
+        assert!(gt.real_conflict(&a, &b));
+        assert!(!gt.real_conflict(&a, &c));
+        assert!(!gt.real_conflict(&a, &a));
+    }
+
+    #[test]
+    fn conflict_is_symmetric_and_deterministic() {
+        let gt = GroundTruth::new(11, 0.5);
+        for i in 0..50u64 {
+            for j in (i + 1)..50u64 {
+                let a = spec(i, &[1], true);
+                let b = spec(j, &[1], true);
+                assert_eq!(gt.real_conflict(&a, &b), gt.real_conflict(&b, &a));
+                // Re-query gives the same answer.
+                assert_eq!(gt.real_conflict(&a, &b), gt.real_conflict(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_rate_matches_parameter() {
+        let gt = GroundTruth::new(13, 0.05);
+        let mut conflicts = 0u32;
+        let n = 40_000u64;
+        for k in 0..n {
+            let a = spec(2 * k, &[1], true);
+            let b = spec(2 * k + 1, &[1], true);
+            if gt.real_conflict(&a, &b) {
+                conflicts += 1;
+            }
+        }
+        let rate = conflicts as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.005, "rate = {rate}");
+    }
+
+    #[test]
+    fn figure1_curve_shape() {
+        // With q = 0.05 per pair, P(change n conflicts with ≥1 of n−1
+        // others) = 1 − (1−q)^(n−1): ≈5% at n=2, ≈40–55% at n=16. This is
+        // the Figure 1 reproduction at the model level.
+        let gt = GroundTruth::new(17, 0.05);
+        let trials = 3_000u64;
+        let rate_at = |n: usize| {
+            let mut hits = 0u32;
+            for t in 0..trials {
+                let base = t * 100;
+                let subject = spec(base, &[1], true);
+                let others: Vec<ChangeSpec> =
+                    (1..n as u64).map(|k| spec(base + k, &[1], true)).collect();
+                if others.iter().any(|o| gt.real_conflict(&subject, o)) {
+                    hits += 1;
+                }
+            }
+            hits as f64 / trials as f64
+        };
+        let p2 = rate_at(2);
+        let p16 = rate_at(16);
+        assert!((p2 - 0.05).abs() < 0.02, "p2 = {p2}");
+        assert!((0.30..0.65).contains(&p16), "p16 = {p16}");
+        assert!(p16 > p2 * 4.0);
+    }
+
+    #[test]
+    fn build_succeeds_semantics() {
+        let gt = GroundTruth::new(7, 1.0);
+        let a = spec(1, &[1], true);
+        let b = spec(2, &[1], true);
+        let c = spec(3, &[9], true);
+        let broken = spec(4, &[8], false);
+        // Alone: fine.
+        assert!(gt.build_succeeds(&a, []));
+        // On a conflicting prefix: fails.
+        assert!(!gt.build_succeeds(&b, [&a]));
+        // On an independent prefix: fine.
+        assert!(gt.build_succeeds(&c, [&a, &b]));
+        // Intrinsically broken: fails even alone.
+        assert!(!gt.build_succeeds(&broken, []));
+    }
+
+    #[test]
+    fn batch_semantics() {
+        let gt = GroundTruth::new(7, 1.0);
+        let a = spec(1, &[1], true);
+        let b = spec(2, &[1], true); // conflicts with a (q = 1)
+        let c = spec(3, &[9], true);
+        let broken = spec(4, &[8], false);
+        assert!(gt.batch_succeeds(&[&a, &c]));
+        assert!(!gt.batch_succeeds(&[&a, &b]));
+        assert!(!gt.batch_succeeds(&[&c, &broken]));
+        assert!(gt.batch_succeeds(&[]));
+    }
+
+    #[test]
+    fn different_seeds_give_different_relations() {
+        let g1 = GroundTruth::new(1, 0.5);
+        let g2 = GroundTruth::new(2, 0.5);
+        let pairs: Vec<(ChangeSpec, ChangeSpec)> = (0..64u64)
+            .map(|k| (spec(2 * k, &[1], true), spec(2 * k + 1, &[1], true)))
+            .collect();
+        let v1: Vec<bool> = pairs.iter().map(|(a, b)| g1.real_conflict(a, b)).collect();
+        let v2: Vec<bool> = pairs.iter().map(|(a, b)| g2.real_conflict(a, b)).collect();
+        assert_ne!(v1, v2);
+    }
+}

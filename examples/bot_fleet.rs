@@ -1,0 +1,85 @@
+//! Bots at scale (paper Section 1): "the emergence of bots that
+//! continuously generate code (e.g., Facebook's Configurator) further
+//! highlights the need for a highly scalable system that can process
+//! thousands of changes per day."
+//!
+//! A fleet of config bots floods the backend monorepo with small,
+//! mostly-independent changes. Because the conflict analyzer proves
+//! independence, SubmitQueue commits them in parallel — this example
+//! measures how much of the bot traffic each policy sustains.
+//!
+//! Run with: `cargo run --release --example bot_fleet`
+
+use sq_core::audit::audit_green;
+use sq_core::planner::{run_simulation, PlannerConfig};
+use sq_core::strategy::{Strategy, StrategyKind};
+use sq_workload::{WorkloadBuilder, WorkloadParams};
+
+fn main() {
+    // Backend monorepo: wide, shallow build graph; bots touch many
+    // distinct config parts, so most changes are independent.
+    let mut params = WorkloadParams::backend().with_rate(500.0);
+    params.part_zipf_s = 0.5; // bots spread edits nearly uniformly
+    params.mean_parts_per_change = 1.1;
+    let workload = WorkloadBuilder::new(params)
+        .seed(77)
+        .duration_hours(2.0)
+        .build()
+        .expect("valid workload");
+    println!(
+        "bot fleet: {} generated changes over {:.1}h (≈12k/day pace)\n",
+        workload.changes.len(),
+        workload.horizon().as_hours_f64()
+    );
+
+    let config = PlannerConfig {
+        workers: 300,
+        ..PlannerConfig::default()
+    };
+    println!(
+        "{:>14} {:>10} {:>12} {:>12} {:>14}",
+        "policy", "committed", "P50 (min)", "P95 (min)", "sustained/hour"
+    );
+    for kind in [
+        StrategyKind::Oracle,
+        StrategyKind::SingleQueue,
+        StrategyKind::Optimistic,
+        StrategyKind::SpeculateAll,
+    ] {
+        let strategy = Strategy::build(kind, &workload, None);
+        let r = run_simulation(&workload, &strategy, &config);
+        audit_green(&workload, &r).expect("green under bot load");
+        let (p50, p95, _) = r.turnaround_p50_p95_p99();
+        println!(
+            "{:>14} {:>10} {:>12.1} {:>12.1} {:>14.0}",
+            kind.name(),
+            r.committed(),
+            p50,
+            p95,
+            r.sustained_throughput_per_hour()
+        );
+    }
+
+    // The analyzer is what makes bot traffic tractable: turn it off and
+    // every bot change serializes behind every other.
+    let oracle = Strategy::build(StrategyKind::Oracle, &workload, None);
+    let without = run_simulation(
+        &workload,
+        &oracle,
+        &PlannerConfig {
+            workers: 300,
+            conflict_analyzer: false,
+            ..PlannerConfig::default()
+        },
+    );
+    let with = run_simulation(&workload, &oracle, &config);
+    let (_, p95_with, _) = with.turnaround_p50_p95_p99();
+    let (_, p95_without, _) = without.turnaround_p50_p95_p99();
+    println!(
+        "\nconflict analyzer impact on Oracle P95: {:.0} min → {:.0} min ({:.0}% better)",
+        p95_without,
+        p95_with,
+        (1.0 - p95_with / p95_without) * 100.0
+    );
+    println!("independent bot changes commit in parallel; the wide graph is where the analyzer shines (Section 8.4)");
+}

@@ -1,0 +1,128 @@
+//! A guided tour of the speculation engine (paper Section 4, Figures
+//! 5–7): how the conflict graph trims the speculation tree, and how
+//! probabilities steer which builds get workers.
+//!
+//! Run with: `cargo run --example speculation_tour`
+
+use sq_core::analyzer::{ConflictAnalyzer, ConflictGraph};
+use sq_core::predict::{OraclePredictor, Predictor, SpeculationCounters, UniformPredictor};
+use sq_core::speculation::SpeculationEngine;
+use sq_workload::{ChangeSpec, WorkloadBuilder, WorkloadParams};
+use std::collections::HashMap;
+
+/// A conflict analyzer scripted from an explicit edge list.
+struct Edges(Vec<(u64, u64)>);
+impl ConflictAnalyzer for Edges {
+    fn conflicts(&mut self, a: &ChangeSpec, b: &ChangeSpec) -> bool {
+        let (x, y) = (a.id.0.min(b.id.0), a.id.0.max(b.id.0));
+        self.0.contains(&(x, y))
+    }
+}
+
+fn show<P: Predictor>(
+    title: &str,
+    w: &sq_workload::Workload,
+    edges: &[(u64, u64)],
+    predictor: &P,
+    budget: usize,
+) {
+    let mut analyzer = Edges(edges.to_vec());
+    let mut graph = ConflictGraph::new();
+    let mut pending: Vec<&ChangeSpec> = Vec::new();
+    for c in &w.changes {
+        graph.admit(c, &pending, &mut analyzer);
+        pending.push(c);
+    }
+    let probs = SpeculationEngine::commit_probabilities(
+        w,
+        &pending,
+        &graph,
+        predictor,
+        &HashMap::new(),
+        &HashMap::new(),
+    );
+    let builds = SpeculationEngine::select_builds(
+        w,
+        &pending,
+        &graph,
+        predictor,
+        &HashMap::new(),
+        &HashMap::new(),
+        budget,
+    );
+    println!("\n── {title}");
+    print!("   P(commit): ");
+    for c in &pending {
+        print!("C{}={:.2}  ", c.id.0, probs[&c.id]);
+    }
+    println!(
+        "\n   top {} builds by value V = B · P_needed:",
+        builds.len()
+    );
+    for b in &builds {
+        println!("     {:<14} V = {:.3}", b.key.to_string(), b.value);
+    }
+}
+
+fn main() {
+    let w = WorkloadBuilder::new(WorkloadParams::ios())
+        .seed(4)
+        .n_changes(3)
+        .build()
+        .expect("small workload");
+
+    println!("three pending changes C0, C1, C2 — how speculation adapts\n");
+    println!("(compare with paper Figures 5–7; P_needed follows Equations 1–5)");
+
+    show(
+        "Figure 5 regime: everything conflicts, 50/50 odds — the full binary tree",
+        &w,
+        &[(0, 1), (0, 2), (1, 2)],
+        &UniformPredictor,
+        16,
+    );
+    show(
+        "Figure 6 regime: C0 ⊥ C1, both conflict C2 — C1 commits in parallel",
+        &w,
+        &[(0, 2), (1, 2)],
+        &UniformPredictor,
+        16,
+    );
+    show(
+        "Figure 7 regime: C0 conflicts C1 and C2 — seven builds become five",
+        &w,
+        &[(0, 1), (0, 2)],
+        &UniformPredictor,
+        16,
+    );
+
+    // With an oracle, only the realized path is ever worth building.
+    let oracle = OraclePredictor::new(&w);
+    show(
+        "Oracle odds: only the n needed builds have nonzero value",
+        &w,
+        &[(0, 1), (0, 2), (1, 2)],
+        &oracle,
+        16,
+    );
+
+    // Dynamic counters shift probabilities mid-flight (Section 7.2).
+    println!("\n── dynamic speculation counters (Section 7.2)");
+    let c = &w.changes[0];
+    let learned_note = |k: SpeculationCounters| {
+        // The uniform predictor ignores counters; the learned model uses
+        // them — see `examples/train_model.rs` for the trained variant.
+        UniformPredictor.p_success(&w, c, k)
+    };
+    println!(
+        "   uniform predictor ignores counters: {} = {}",
+        learned_note(SpeculationCounters::default()),
+        learned_note(SpeculationCounters {
+            succeeded: 5,
+            failed: 0
+        }),
+    );
+    println!(
+        "   the trained model reacts to them — run `cargo run --release --example train_model`"
+    );
+}

@@ -1,0 +1,39 @@
+//! `sqctl` — interactive console over a demo SubmitQueue service.
+//!
+//! ```bash
+//! cargo run --bin sqctl
+//! sq> submit alice libs/util/u.rs pub fn u() { /* better */ }
+//! sq> process
+//! sq> status T1
+//! sq> verify
+//! ```
+
+use keeping_master_green::cli::{Console, Reply};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let console = Console::new();
+    println!("sqctl — SubmitQueue console (type 'help')");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("sq> ");
+        out.flush().expect("stdout flush");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match console.interpret(line.trim()) {
+                Reply::Text(s) => {
+                    if !s.is_empty() {
+                        println!("{s}");
+                    }
+                }
+                Reply::Quit => break,
+            },
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+    }
+}
