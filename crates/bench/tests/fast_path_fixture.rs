@@ -1,0 +1,88 @@
+//! Fixture for the §5.2 fast-path statistic plumbing: on a materialized
+//! repository, changes that do not touch BUILD files must be decided by
+//! `fast_path_conflict` (the cheap name-set check), while a change that
+//! rewrites a BUILD file forces the detector off the fast path. This is
+//! the property that makes the `graph_change_rate` statistic (only a few
+//! percent of changes alter the build graph) operationally valuable.
+
+use sq_build::affected::SnapshotAnalysis;
+use sq_build::conflict::fast_path_conflict;
+use sq_workload::repo_model::MaterializedRepo;
+use sq_workload::{WorkloadBuilder, WorkloadParams};
+
+#[test]
+fn non_build_changes_take_the_fast_path() {
+    let mut params = WorkloadParams::ios();
+    params.n_parts = 8;
+    let m = MaterializedRepo::generate(&params).expect("repo generates");
+    let w = WorkloadBuilder::new(params)
+        .seed(17)
+        .n_changes(40)
+        .build()
+        .expect("valid params");
+
+    let mut repo = m.repo.clone();
+    let tree = repo.head_tree().expect("head tree");
+    let base = SnapshotAnalysis::analyze(&tree, repo.store()).expect("base analyzable");
+
+    let analyze =
+        |change: &sq_workload::ChangeSpec, repo: &mut sq_vcs::Repository| -> SnapshotAnalysis {
+            let patch = m.patch_for(change);
+            let new_tree = patch.apply(&tree, repo.store_mut()).expect("patch applies");
+            SnapshotAnalysis::analyze(&new_tree, repo.store()).expect("analyzable")
+        };
+
+    let plain: Vec<&sq_workload::ChangeSpec> = w
+        .changes
+        .iter()
+        .filter(|c| !c.alters_build_graph && !c.parts.is_empty())
+        .collect();
+    assert!(plain.len() >= 2, "workload yields non-graph changes");
+
+    // Two source-only changes on disjoint parts: fast path applies and
+    // reports independence.
+    let a = plain[0];
+    let b = plain
+        .iter()
+        .find(|c| !c.potentially_conflicts(a))
+        .expect("a disjoint-part change exists");
+    let sa = analyze(a, &mut repo);
+    let sb = analyze(b, &mut repo);
+    assert_eq!(
+        fast_path_conflict(&base, &sa, &sb),
+        Some(false),
+        "disjoint source-only edits: fast path applies, no conflict"
+    );
+
+    // The same part edited by two different changes writes different
+    // content to the same file: fast path applies and flags the conflict.
+    let mut twin = a.clone();
+    twin.id = sq_workload::ChangeId(a.id.0 + 10_000);
+    let st = analyze(&twin, &mut repo);
+    assert_eq!(
+        fast_path_conflict(&base, &sa, &st),
+        Some(true),
+        "same-part divergent edits: fast path applies and conflicts"
+    );
+
+    // A change that rewrites a BUILD file pushes the detector off the
+    // fast path, so the full union-graph machinery must run.
+    let mut structural = a.clone();
+    structural.alters_build_graph = true;
+    let ss = analyze(&structural, &mut repo);
+    assert!(
+        !base.same_graph_structure(&ss),
+        "BUILD rewrite changes the parsed graph"
+    );
+    assert_eq!(
+        fast_path_conflict(&base, &ss, &sb),
+        None,
+        "graph-altering change declines the fast path"
+    );
+
+    // The statistic the graph_change_rate binary reports is exactly the
+    // marginal of the flag that gates the slow path.
+    let expected =
+        w.changes.iter().filter(|c| c.alters_build_graph).count() as f64 / w.changes.len() as f64;
+    assert!((w.graph_change_rate() - expected).abs() < 1e-12);
+}

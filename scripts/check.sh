@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint checks. Run from the repository root.
+#
+#   scripts/check.sh          # everything
+#
+# The build is fully offline: all external dependencies resolve to the
+# API-compatible stand-ins under vendor/ (see vendor/README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (root package: integration + property suites)"
+cargo test -q
+
+echo "==> cargo test --workspace -q (every crate, including vendor shims)"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -p sq-build --all-targets -- -D warnings"
+cargo clippy -p sq-build --all-targets -- -D warnings
+
+echo "All checks passed."

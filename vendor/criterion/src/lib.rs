@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` benchmarking harness.
+//!
+//! Implements the API subset this workspace's benches use. Instead of
+//! statistical sampling it runs each benchmark body a small fixed
+//! number of times and reports the mean wall-clock duration — enough
+//! for the benches to compile, run under `cargo bench`, and produce
+//! comparable relative numbers, without the upstream dependency tree.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Iterations per measurement (upstream samples adaptively).
+const DEFAULT_ITERS: u32 = 10;
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one parameterized benchmark case.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, e.g. `hash/200`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Just the parameter, e.g. `200`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, calling it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: DEFAULT_ITERS,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Criterion {
+        run_one(&id.to_string(), DEFAULT_ITERS, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u32,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes statistical sample count; here it scales the
+    /// fixed iteration count down for expensive bodies.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u32).clamp(1, DEFAULT_ITERS);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.iters, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (upstream emits summary statistics here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u32, mut f: F) {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters > 0 && bencher.elapsed > Duration::ZERO {
+        let mean = bencher.elapsed / bencher.iters;
+        println!(
+            "bench: {label:<60} {mean:>12.2?}/iter ({} iters)",
+            bencher.iters
+        );
+    } else {
+        println!("bench: {label:<60} (no measurement)");
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate the `main` entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_apis_run_bodies() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("standalone", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        let mut with_input_runs = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, n| {
+            b.iter(|| with_input_runs += *n as u32)
+        });
+        group.finish();
+        assert!(with_input_runs >= 7);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("hash", 200).to_string(), "hash/200");
+        assert_eq!(BenchmarkId::from_parameter(5).to_string(), "5");
+    }
+}

@@ -1,0 +1,6 @@
+//! Everything a property test usually imports.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng, TestRunner};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

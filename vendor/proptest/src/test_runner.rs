@@ -1,0 +1,291 @@
+//! The case runner: deterministic RNG, configuration, and the driver
+//! behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Deterministic generator (SplitMix64) behind every strategy draw.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the generator.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n` must be positive).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runner configuration (upstream `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Upstream-compatible knob; shrinking is not implemented here.
+    pub max_shrink_iters: u32,
+    /// Give up after this many rejected cases overall.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's preconditions were not met; it is not counted.
+    Reject(String),
+    /// The property is false for this input.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Result of one case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives a strategy through regression seeds and fresh cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    source_file: &'static str,
+}
+
+impl TestRunner {
+    /// Build a runner for the test defined in `source_file` (pass
+    /// `file!()`; it locates the `*.proptest-regressions` sidecar).
+    pub fn new(config: ProptestConfig, source_file: &'static str) -> TestRunner {
+        TestRunner {
+            config,
+            source_file,
+        }
+    }
+
+    /// Run the property. Panics (failing the enclosing `#[test]`) with
+    /// the generated input on the first failing case.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        // Replay persisted regression seeds first, as upstream does.
+        for (i, seed) in regression_seeds(self.source_file).into_iter().enumerate() {
+            let mut rng = TestRng::from_seed(seed);
+            let value = strategy.new_value(&mut rng);
+            let rendered = format!("{value:#?}");
+            if let Err(TestCaseError::Fail(msg)) = test(value) {
+                panic!(
+                    "proptest: regression seed #{i} failed: {msg}\ninput: {rendered}\n\
+                     (seed {seed:#018x} from {}.proptest-regressions)",
+                    self.source_file.trim_end_matches(".rs")
+                );
+            }
+        }
+
+        let base = fnv1a(self.source_file.as_bytes());
+        let mut accepted: u32 = 0;
+        let mut rejected: u32 = 0;
+        let mut attempt: u64 = 0;
+        while accepted < self.config.cases {
+            let seed = base ^ attempt.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            attempt += 1;
+            let mut rng = TestRng::from_seed(seed);
+            let value = strategy.new_value(&mut rng);
+            let rendered = format!("{value:#?}");
+            match test(value) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected >= self.config.max_global_rejects {
+                        panic!(
+                            "proptest: too many global rejects ({rejected}) after \
+                             {accepted} accepted cases in {}",
+                            self.source_file
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest: case #{} failed: {msg}\ninput: {rendered}\n\
+                         (seed {seed:#018x}; no shrinking in the vendored shim)",
+                        accepted + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Load `cc <hex>` seed lines from the sidecar regression file, if any.
+fn regression_seeds(source_file: &str) -> Vec<u64> {
+    let sidecar = PathBuf::from(source_file).with_extension("proptest-regressions");
+    let mut candidates = vec![sidecar.clone()];
+    if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        candidates.push(PathBuf::from(manifest_dir).join(&sidecar));
+    }
+    for path in candidates {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            return text
+                .lines()
+                .filter_map(|line| {
+                    let rest = line.trim().strip_prefix("cc ")?;
+                    let hex = rest.split_whitespace().next()?;
+                    // Fold the (32-byte) persisted seed into our 64-bit
+                    // seed space.
+                    let mut folded: u64 = 0;
+                    let mut nibbles = 0u32;
+                    for c in hex.chars() {
+                        let d = c.to_digit(16)?;
+                        folded = folded.rotate_left(4) ^ u64::from(d);
+                        nibbles += 1;
+                    }
+                    (nibbles > 0).then_some(folded)
+                })
+                .collect();
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(12345);
+        let mut b = TestRng::from_seed(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            assert!(a.below(7) < 7);
+            let u = a.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn regression_sidecar_seeds_are_loaded_and_replayed() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-probe-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let source = dir.join("probe.rs");
+        std::fs::write(
+            source.with_extension("proptest-regressions"),
+            "# comment line\ncc 1a2b3c4d5e6f7890 # shrinks to input = ...\ncc ff00 # shrinks to ...\n",
+        )
+        .unwrap();
+        let seeds = regression_seeds(source.to_str().unwrap());
+        assert_eq!(seeds.len(), 2, "both cc lines parsed");
+
+        // The runner replays each persisted seed before fresh cases: a
+        // test body counting invocations sees cases + seeds.
+        let source_static: &'static str = Box::leak(source.to_str().unwrap().to_owned().into());
+        let calls = std::cell::Cell::new(0u32);
+        let mut runner = TestRunner::new(
+            ProptestConfig {
+                cases: 5,
+                ..ProptestConfig::default()
+            },
+            source_static,
+        );
+        runner.run(&(0u64..10), |_| {
+            calls.set(calls.get() + 1);
+            Ok(())
+        });
+        assert_eq!(calls.get(), 5 + 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn runner_counts_only_accepted_cases() {
+        let mut runner = TestRunner::new(
+            ProptestConfig {
+                cases: 50,
+                ..ProptestConfig::default()
+            },
+            "no-such-file.rs",
+        );
+        let mut seen = 0u32;
+        let seen_ref = std::cell::Cell::new(0u32);
+        runner.run(&(0u64..100), |v| {
+            if v < 50 {
+                return Err(TestCaseError::reject("small"));
+            }
+            seen_ref.set(seen_ref.get() + 1);
+            Ok(())
+        });
+        seen += seen_ref.get();
+        assert_eq!(seen, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed: too big")]
+    fn failing_case_panics_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::default(), "no-such-file.rs");
+        runner.run(&(0u64..10), |v| {
+            if v >= 5 {
+                return Err(TestCaseError::fail("too big"));
+            }
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,139 @@
+//! Internal value tree and helpers shared by the derive macro and data
+//! formats. Not part of the public API contract.
+
+use crate::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+/// A JSON-shaped dynamic value: the interchange representation every
+/// serializer/deserializer in this shim speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// String-keyed map in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced while converting to or from a [`Value`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serializer that materializes the [`Value`] tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer that replays a [`Value`] tree.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serialize anything into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialize anything out of a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Pull a named field out of a struct map, treating a missing key as
+/// null (so `Option` fields default to `None`, as with real serde).
+pub fn take_field<'de, T: Deserialize<'de>>(
+    map: &mut Vec<(String, Value)>,
+    type_name: &str,
+    field: &str,
+) -> Result<T, ValueError> {
+    let value = match map.iter().position(|(k, _)| k == field) {
+        Some(i) => map.swap_remove(i).1,
+        None => Value::Null,
+    };
+    from_value(value).map_err(|e| ValueError(format!("{type_name}.{field}: {e}")))
+}
+
+/// Expect a map (struct body), or fail with the type's name.
+pub fn expect_map(value: Value, type_name: &str) -> Result<Vec<(String, Value)>, ValueError> {
+    match value {
+        Value::Map(m) => Ok(m),
+        other => Err(ValueError(format!(
+            "invalid type: expected map for {type_name}, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Expect a sequence of exactly `len` elements (tuple struct body).
+pub fn expect_seq(value: Value, type_name: &str, len: usize) -> Result<Vec<Value>, ValueError> {
+    match value {
+        Value::Seq(s) if s.len() == len => Ok(s),
+        Value::Seq(s) => Err(ValueError(format!(
+            "invalid length: expected {len} elements for {type_name}, got {}",
+            s.len()
+        ))),
+        other => Err(ValueError(format!(
+            "invalid type: expected sequence for {type_name}, got {}",
+            other.kind()
+        ))),
+    }
+}

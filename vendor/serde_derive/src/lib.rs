@@ -1,0 +1,436 @@
+//! Vendored shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for the item shapes this workspace uses — named structs, tuple/newtype
+//! structs, unit structs, and enums with unit, tuple, and struct
+//! variants. Serde attributes (e.g. `#[serde(transparent)]`) are parsed
+//! and ignored; newtype structs already serialize as their inner value.
+//!
+//! The input item is parsed directly from the token stream (no `syn`),
+//! and the generated impls route through `serde::__private::Value`. See
+//! `vendor/README.md`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    loop {
+        match tokens.peek() {
+            // Attribute: `#` followed by a bracket group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            // Visibility: `pub` with optional `(crate)` restriction.
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive shim does not support generic type `{name}`"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Count top-level fields in a tuple-struct/tuple-variant body,
+/// treating commas inside `<...>` as part of a type.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut depth = 0i32;
+    let mut in_field = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    fields += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Skip attributes (including doc comments) and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Consume the type up to a top-level comma.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        // Skip attributes on the variant.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                tokens.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant`, then the separating comma.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+const TO: &str = "::serde::__private::to_value";
+const FROM: &str = "::serde::__private::from_value";
+const VALUE: &str = "::serde::__private::Value";
+const SER_ERR: &str = ".map_err(::serde::ser::Error::custom)?";
+
+/// Expression producing the `Value` for one set of fields, given an
+/// accessor prefix (`&self.` for structs, `` for bound variant fields).
+fn fields_to_value(fields: &Fields, access: &dyn Fn(usize, &str) -> String) -> String {
+    match fields {
+        Fields::Unit => format!("{VALUE}::Null"),
+        Fields::Tuple(1) => format!("{TO}({}){SER_ERR}", access(0, "")),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("{TO}({}){SER_ERR}", access(i, "")))
+                .collect();
+            format!("{VALUE}::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("({:?}.to_string(), {TO}({}){SER_ERR})", f, access(i, f)))
+                .collect();
+            format!("{VALUE}::Map(::std::vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+/// Expression (re)constructing `ctor` from a `Value` bound to `payload`,
+/// inside a closure returning `Result<_, ValueError>`.
+fn fields_from_value(ctor: &str, fields: &Fields, payload: &str) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "match {payload} {{ {VALUE}::Null | {VALUE}::Seq(_) | {VALUE}::Map(_) => \
+             ::std::result::Result::Ok({ctor}), other => ::std::result::Result::Err(\
+             ::serde::__private::ValueError(::std::format!(\
+             \"invalid value for {ctor}: {{}}\", other.kind()))) }}"
+        ),
+        Fields::Tuple(1) => format!("::std::result::Result::Ok({ctor}({FROM}({payload})?))"),
+        Fields::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|_| format!("{FROM}(__seq.next().unwrap())?"))
+                .collect();
+            format!(
+                "{{ let mut __seq = ::serde::__private::expect_seq({payload}, {:?}, {n})?\
+                 .into_iter(); ::std::result::Result::Ok({ctor}({})) }}",
+                ctor,
+                gets.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let gets: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::__private::take_field(&mut __map, {:?}, {:?})?",
+                        ctor, f
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let mut __map = ::serde::__private::expect_map({payload}, {:?})?; \
+                 ::std::result::Result::Ok({ctor} {{ {} }}) }}",
+                ctor,
+                gets.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, value_expr) = match item {
+        Item::Struct { name, fields } => {
+            let expr = fields_to_value(fields, &|i, f| {
+                if f.is_empty() {
+                    format!("&self.{i}")
+                } else {
+                    format!("&self.{f}")
+                }
+            });
+            (name.clone(), expr)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vname} => {VALUE}::Str({:?}.to_string()),", vname)
+                        }
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = fields_to_value(&v.fields, &|i, _| format!("__f{i}"));
+                            format!(
+                                "{name}::{vname}({}) => {VALUE}::Map(::std::vec![\
+                                 ({:?}.to_string(), {inner})]),",
+                                binds.join(", "),
+                                vname
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inner = fields_to_value(&v.fields, &|_, f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {} }} => {VALUE}::Map(::std::vec![\
+                                 ({:?}.to_string(), {inner})]),",
+                                fields.join(", "),
+                                vname
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name.clone(), format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                 let __value: {VALUE} = {value_expr};\n\
+                 serializer.serialize_value(__value)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name.clone(), fields_from_value(name, fields, "__value")),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let ctor = format!("{name}::{}", v.name);
+                    format!(
+                        "{:?} => {},",
+                        v.name,
+                        fields_from_value(&ctor, &v.fields, "__payload")
+                    )
+                })
+                .collect();
+            let body = format!(
+                "match __value {{\n\
+                     {VALUE}::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::__private::ValueError(\n\
+                             ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }},\n\
+                     {VALUE}::Map(mut __m) if __m.len() == 1 => {{\n\
+                         let (__k, __payload) = __m.pop().unwrap();\n\
+                         match __k.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::__private::ValueError(\n\
+                                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::__private::ValueError(\n\
+                         ::std::format!(\"invalid value for enum {name}: {{}}\", __other.kind()))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n"),
+            );
+            (name.clone(), body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::std::result::Result<Self, D::Error> {{\n\
+                 let __value = deserializer.deserialize_value()?;\n\
+                 let __result: ::std::result::Result<Self, ::serde::__private::ValueError> =\n\
+                     (move || {{ {body} }})();\n\
+                 __result.map_err(::serde::de::Error::custom)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("derive shim produced invalid code: {e}"))),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
