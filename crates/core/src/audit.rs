@@ -14,7 +14,7 @@
 use crate::planner::SimResult;
 use sq_sim::SimTime;
 use sq_workload::{ChangeId, Workload};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Verify the always-green invariant for a finished run.
 ///
@@ -48,6 +48,59 @@ pub fn audit_green(workload: &Workload, result: &SimResult) -> Result<(), String
         }
     }
     Ok(())
+}
+
+/// Verify that every rejection in a finished run is justified by the
+/// ground truth: the change either fails its own build steps in
+/// isolation, or really conflicts with a change that committed while it
+/// was in flight.
+///
+/// Infra faults are never a justification — a run that rejects a
+/// genuinely-passing, unconflicted change fails this audit, which is
+/// exactly the "wrongly rejected change" count the flake-rate sweeps
+/// must hold at zero.
+pub fn audit_rejections_justified(workload: &Workload, result: &SimResult) -> Result<(), String> {
+    let truth = workload.truth();
+    let committed: HashSet<ChangeId> = result.commit_log.iter().copied().collect();
+    let resolved_at: HashMap<ChangeId, SimTime> =
+        result.records.iter().map(|r| (r.id, r.resolved)).collect();
+    for rec in &result.records {
+        if committed.contains(&rec.id) {
+            continue;
+        }
+        let c = &workload.changes[rec.id.0 as usize];
+        let justified = !truth.succeeds_alone(c)
+            || result.commit_log.iter().any(|&d_id| {
+                let d = &workload.changes[d_id.0 as usize];
+                let d_committed = resolved_at.get(&d_id).copied().unwrap_or(SimTime::ZERO);
+                c.submit_time < d_committed && truth.real_conflict(c, d)
+            });
+        if !justified {
+            return Err(format!(
+                "{} passes alone and conflicts with nothing that landed in its window — \
+                 it was wrongly rejected",
+                rec.id
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Surface a run's recovery picture next to the greenness audits: infra
+/// retries, charged backoff, and the quarantine list of chronically
+/// flaky changes.
+pub fn recovery_report(result: &SimResult) -> String {
+    if result.infra_retries == 0 && result.quarantined.is_empty() {
+        return "no infra faults observed".into();
+    }
+    let quarantined: Vec<String> = result.quarantined.iter().map(|c| c.to_string()).collect();
+    format!(
+        "{} infra-red build attempt(s) retried, {:.1} min of backoff charged, \
+         quarantined: [{}]",
+        result.infra_retries,
+        result.infra_backoff.as_mins_f64(),
+        quarantined.join(", ")
+    )
 }
 
 /// Count how many commit points would be red in a commit log (used by
@@ -111,6 +164,9 @@ mod tests {
             builds_started: 0,
             builds_aborted: 0,
             utilization: 0.0,
+            infra_retries: 0,
+            infra_backoff: sq_sim::SimDuration::ZERO,
+            quarantined: Vec::new(),
         }
     }
 
@@ -177,6 +233,46 @@ mod tests {
             }
         }
         audit_green(&w, &result_with(&w, log)).unwrap();
+    }
+
+    #[test]
+    fn rejecting_a_good_unconflicted_change_fails_the_justification_audit() {
+        let w = workload(50, 6);
+        assert!(
+            w.changes.iter().any(|c| c.intrinsic_success),
+            "workload has a passing change"
+        );
+        // Nothing commits, so every intrinsically-good rejection is
+        // unjustified (no conflicting landing can explain it).
+        let err = audit_rejections_justified(&w, &result_with(&w, vec![])).unwrap_err();
+        assert!(err.contains("wrongly rejected"), "err = {err}");
+    }
+
+    #[test]
+    fn rejecting_only_intrinsically_broken_changes_is_justified() {
+        let w = workload(200, 7);
+        let good: Vec<ChangeId> = w
+            .changes
+            .iter()
+            .filter(|c| c.intrinsic_success)
+            .map(|c| c.id)
+            .collect();
+        // Everything that passes alone commits; only broken changes are
+        // rejected — all justified.
+        audit_rejections_justified(&w, &result_with(&w, good)).unwrap();
+    }
+
+    #[test]
+    fn recovery_report_surfaces_retries_and_quarantine() {
+        let w = workload(10, 8);
+        let mut r = result_with(&w, vec![]);
+        assert_eq!(recovery_report(&r), "no infra faults observed");
+        r.infra_retries = 3;
+        r.infra_backoff = sq_sim::SimDuration::from_mins(2);
+        r.quarantined = vec![ChangeId(5)];
+        let report = recovery_report(&r);
+        assert!(report.contains("3 infra-red"), "report = {report}");
+        assert!(report.contains("C5"), "report = {report}");
     }
 
     #[test]

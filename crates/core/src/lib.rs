@@ -50,6 +50,7 @@ pub mod batching;
 pub mod pending;
 pub mod planner;
 pub mod predict;
+pub mod recovery;
 pub mod service;
 pub mod speculation;
 pub mod strategy;
@@ -59,5 +60,7 @@ pub use analyzer::{ConflictAnalyzer, ConflictGraph};
 pub use pending::{ChangeOutcome, ChangeRecord};
 pub use planner::{run_simulation, PlannerConfig, SimResult};
 pub use predict::{LearnedPredictor, OraclePredictor, Predictor};
+pub use recovery::{QuarantineList, RecoveryConfig, RecoveryEvent, RecoveryLog};
+pub use service::{HistoryViolation, SubmitQueueService, TicketId, TicketState};
 pub use speculation::{BuildKey, SpeculationEngine};
 pub use strategy::StrategyKind;

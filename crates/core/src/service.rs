@@ -9,9 +9,10 @@
 //! every step passes — so the mainline is green at every commit point,
 //! by construction, and `verify_history` re-checks it from scratch.
 
+use crate::recovery::{QuarantineList, RecoveryConfig, RecoveryEvent, RecoveryLog};
 use parking_lot::Mutex;
 use sq_build::affected::SnapshotAnalysis;
-use sq_build::AffectedSet;
+use sq_build::{AffectedSet, TargetName};
 use sq_exec::{ArtifactCache, BuildController, BuildStep, RealExecutor, StepOutcome};
 use sq_vcs::merge::merge_patches;
 use sq_vcs::{CommitId, CommitMeta, Patch, Repository, Tree, VcsError};
@@ -59,6 +60,14 @@ struct Inner {
     next_ticket: u64,
     landed: u64,
     rejected: u64,
+    /// Infra-red whole-build attempts, per ticket.
+    rebuilds: HashMap<TicketId, u32>,
+    /// Per-target flake accounting.
+    quarantine: QuarantineList<TargetName>,
+    /// Every recovery decision, in order.
+    log: RecoveryLog,
+    /// Changes rejected for infrastructure (not change) reasons.
+    infra_rejected: u64,
 }
 
 /// The service.
@@ -70,7 +79,49 @@ pub struct SubmitQueueService {
     /// From-scratch builds for `verify_history` (no cache reuse: the
     /// audit must not trust prior artifacts).
     executor: RealExecutor,
+    /// Infra-failure recovery policy (step retries, rebuild bound,
+    /// quarantine threshold).
+    recovery: RecoveryConfig,
 }
+
+/// A red commit found by [`SubmitQueueService::verify_history`]: which
+/// commit broke the audit, at which step, and why.
+#[derive(Debug, Clone)]
+pub struct HistoryViolation {
+    /// Position of the commit in mainline order (0 = root commit).
+    pub commit_index: usize,
+    /// The red commit.
+    pub commit: CommitId,
+    /// The failing step, when a build step failed (as opposed to the
+    /// snapshot being unreadable or unanalyzable).
+    pub step: Option<BuildStep>,
+    /// Human-readable reason.
+    pub reason: String,
+    /// True when the failure was infrastructure — the audit could not
+    /// complete — rather than the commit being genuinely red.
+    pub infra: bool,
+}
+
+impl fmt::Display for HistoryViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let blame = if self.infra {
+            "unverifiable (infrastructure)"
+        } else {
+            "red"
+        };
+        write!(
+            f,
+            "commit {} (#{} in mainline) is {blame}",
+            self.commit, self.commit_index
+        )?;
+        if let Some(step) = &self.step {
+            write!(f, ": step '{step}'")?;
+        }
+        write!(f, ": {}", self.reason)
+    }
+}
+
+impl std::error::Error for HistoryViolation {}
 
 /// Service statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,11 +136,33 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Artifact-cache misses.
     pub cache_misses: u64,
+    /// Step-level infra retries absorbed without failing a build.
+    pub step_retries: u64,
+    /// Whole-build rebuilds caused by infra-red builds.
+    pub infra_rebuilds: u64,
+    /// Changes rejected for infrastructure (not change) reasons.
+    pub infra_rejected: u64,
+    /// Targets currently quarantined as chronically flaky.
+    pub quarantined: usize,
 }
 
 impl SubmitQueueService {
-    /// Wrap a repository; `threads` sizes the build executor.
+    /// Wrap a repository; `threads` sizes the build executor. Infra
+    /// failures are not retried (the change sees them directly); use
+    /// [`SubmitQueueService::with_recovery`] for the failure-aware
+    /// service.
     pub fn new(repo: Repository, threads: usize) -> Self {
+        Self::with_recovery(repo, threads, RecoveryConfig::disabled())
+    }
+
+    /// Wrap a repository with an infra-failure recovery policy: steps
+    /// retry under `recovery.retry`, infra-red builds are redone up to
+    /// `recovery.max_rebuilds` times before the change is rejected with
+    /// an explicit infrastructure reason, and chronically flaky targets
+    /// are quarantined (advisorily — they keep gating, so the always-
+    /// green invariant is never weakened; the list is surfaced for
+    /// operators via [`SubmitQueueService::quarantined_targets`]).
+    pub fn with_recovery(repo: Repository, threads: usize, recovery: RecoveryConfig) -> Self {
         SubmitQueueService {
             inner: Mutex::new(Inner {
                 repo,
@@ -98,9 +171,14 @@ impl SubmitQueueService {
                 next_ticket: 1,
                 landed: 0,
                 rejected: 0,
+                rebuilds: HashMap::new(),
+                quarantine: QuarantineList::new(recovery.quarantine_threshold),
+                log: RecoveryLog::new(),
+                infra_rejected: 0,
             }),
-            controller: BuildController::new(threads),
+            controller: BuildController::with_retry_policy(threads, recovery.retry.clone()),
             executor: RealExecutor::new(threads),
+            recovery,
         }
     }
 
@@ -213,6 +291,55 @@ impl SubmitQueueService {
         );
         {
             let mut inner = self.inner.lock();
+            // Flake accounting: every infra event — recovered or not —
+            // counts toward the per-target quarantine threshold.
+            for (step, _fault) in &report.exec.infra_events {
+                if let Some(observations) = inner.quarantine.record_flake(step.target.clone()) {
+                    inner.log.push(RecoveryEvent::Quarantined {
+                        target: step.target.to_string(),
+                        observations,
+                    });
+                }
+            }
+            if report.exec.infra_retries > 0 {
+                inner.log.push(RecoveryEvent::StepRetries {
+                    subject: ticket.to_string(),
+                    retries: report.exec.infra_retries,
+                });
+            }
+            if let Some((step, fault)) = report.exec.infra_failure {
+                // Infra-red: the build says nothing about the change.
+                // Rebuild up to the policy bound instead of rejecting;
+                // successful steps are already cached, so the rebuild
+                // only redoes what the fault interrupted.
+                let attempts = inner.rebuilds.entry(ticket).or_insert(0);
+                *attempts += 1;
+                let attempt = *attempts;
+                if attempt <= self.recovery.max_rebuilds {
+                    inner.log.push(RecoveryEvent::Rebuild {
+                        subject: ticket.to_string(),
+                        attempt,
+                        step,
+                        fault,
+                    });
+                    inner.queue.push_front(submission);
+                } else {
+                    inner.log.push(RecoveryEvent::InfraRejected {
+                        subject: ticket.to_string(),
+                        attempts: attempt,
+                    });
+                    inner.infra_rejected += 1;
+                    self.reject_locked(
+                        &mut inner,
+                        ticket,
+                        format!(
+                            "infrastructure failure (change not at fault): step '{step}' \
+                             hit {fault} after {attempt} build(s)"
+                        ),
+                    );
+                }
+                return Some(ticket);
+            }
             if let Some((step, reason)) = report.exec.failure {
                 self.reject_locked(
                     &mut inner,
@@ -318,7 +445,30 @@ impl SubmitQueueService {
             queued: inner.queue.len(),
             cache_hits: cs.hits,
             cache_misses: cs.misses,
+            step_retries: inner.log.step_retries(),
+            infra_rebuilds: inner.log.rebuilds() as u64,
+            infra_rejected: inner.infra_rejected,
+            quarantined: inner.quarantine.len(),
         }
+    }
+
+    /// The recovery audit log: every step-retry, rebuild, quarantine,
+    /// and infra-rejection decision, in order.
+    pub fn recovery_log(&self) -> Vec<RecoveryEvent> {
+        self.inner.lock().log.events().to_vec()
+    }
+
+    /// Targets quarantined as chronically flaky. Advisory: quarantined
+    /// targets still gate landings (skipping them could let a genuinely
+    /// red change slip onto mainline); the list tells operators where
+    /// the flaky infrastructure is.
+    pub fn quarantined_targets(&self) -> Vec<TargetName> {
+        self.inner
+            .lock()
+            .quarantine
+            .quarantined()
+            .cloned()
+            .collect()
     }
 
     /// Read a file at the current HEAD (inspection helper for examples).
@@ -329,33 +479,64 @@ impl SubmitQueueService {
     }
 
     /// Replay the whole mainline history, rebuilding every commit point
-    /// from scratch — the literal "always green" check.
+    /// from scratch — the literal "always green" check. The audit runs
+    /// under the service's step-retry policy, so infra flakes in the
+    /// action are absorbed rather than misreported as red commits; a
+    /// fault that survives the retries is reported as *unverifiable*,
+    /// not red.
     ///
-    /// Returns the number of commit points verified.
-    pub fn verify_history(&self, action: &StepAction) -> Result<usize, String> {
+    /// Returns the number of commit points verified, or the exact
+    /// commit (id, mainline position, failing step) that broke the
+    /// audit.
+    pub fn verify_history(&self, action: &StepAction) -> Result<usize, HistoryViolation> {
         let inner = self.inner.lock();
+        let head = inner.repo.head();
+        let infra_err = |index: usize, commit: CommitId, reason: String| HistoryViolation {
+            commit_index: index,
+            commit,
+            step: None,
+            reason,
+            infra: true,
+        };
         let log = inner
             .repo
-            .log(inner.repo.head())
-            .map_err(|e| e.to_string())?;
+            .log(head)
+            .map_err(|e| infra_err(0, head, e.to_string()))?;
         let mut verified = 0;
-        for id in log.iter().rev() {
-            let tree = inner.repo.tree_at(*id).map_err(|e| e.to_string())?;
-            let analysis =
-                SnapshotAnalysis::analyze(&tree, inner.repo.store()).map_err(|e| e.to_string())?;
+        for (index, id) in log.iter().rev().enumerate() {
+            let tree = inner
+                .repo
+                .tree_at(*id)
+                .map_err(|e| infra_err(index, *id, e.to_string()))?;
+            let analysis = SnapshotAnalysis::analyze(&tree, inner.repo.store())
+                .map_err(|e| infra_err(index, *id, e.to_string()))?;
             let targets: HashSet<sq_build::TargetName> = analysis.graph.names().cloned().collect();
             let cache = Mutex::new(ArtifactCache::new());
-            let report = self.executor.execute(
+            let report = self.executor.execute_with_recovery(
                 &analysis.graph,
                 &targets,
                 &analysis.hashes,
                 &cache,
+                &self.recovery.retry,
                 |step| action(step, &tree),
             );
             if let Some((step, reason)) = report.failure {
-                return Err(format!(
-                    "commit {id} is red: step '{step}' failed: {reason}"
-                ));
+                return Err(HistoryViolation {
+                    commit_index: index,
+                    commit: *id,
+                    step: Some(step),
+                    reason: format!("failed: {reason}"),
+                    infra: false,
+                });
+            }
+            if let Some((step, fault)) = report.infra_failure {
+                return Err(HistoryViolation {
+                    commit_index: index,
+                    commit: *id,
+                    step: Some(step),
+                    reason: format!("infra fault survived retries: {fault}"),
+                    infra: true,
+                });
             }
             verified += 1;
         }
@@ -574,5 +755,198 @@ mod tests {
         }
         let verified = service.verify_history(&action).unwrap();
         assert_eq!(verified, 4); // root + 3 commits
+    }
+
+    #[test]
+    fn verify_history_pinpoints_the_bad_commit() {
+        // Plant a bad commit directly on mainline (bypassing the queue,
+        // as if the gate had been circumvented), then audit.
+        let mut repo = demo_repo();
+        let planted = repo
+            .commit_patch(
+                sq_vcs::repo::MAINLINE,
+                &Patch::from_ops([
+                    sq_vcs::FileOp::Write {
+                        path: RepoPath::new("buggy/BUILD").unwrap(),
+                        content: "library(name = \"bugzone\", srcs = [\"b.rs\"])".into(),
+                    },
+                    sq_vcs::FileOp::Write {
+                        path: RepoPath::new("buggy/b.rs").unwrap(),
+                        content: "broken".into(),
+                    },
+                ]),
+                CommitMeta::new("rogue", "sneak a red target in", 0),
+            )
+            .unwrap();
+        let service = SubmitQueueService::new(repo, 2);
+        // A good change lands on top of the planted commit.
+        let base = service.head();
+        service.submit(
+            "alice",
+            "innocent lib edit",
+            base,
+            Patch::write(
+                RepoPath::new("lib/l.rs").unwrap(),
+                "pub fn l() { /* ok */ }",
+            ),
+        );
+        // Landing succeeds: the gate only rebuilds *affected* targets,
+        // and the lib edit does not touch the planted red target.
+        service.run_until_idle(&always_pass());
+        // The from-scratch audit rebuilds everything and catches it.
+        let violation = service.verify_history(&fail_on_bug()).unwrap_err();
+        assert_eq!(violation.commit, planted);
+        assert_eq!(violation.commit_index, 1); // root is #0
+        assert!(!violation.infra);
+        let step = violation.step.as_ref().expect("failing step reported");
+        assert!(step.target.to_string().contains("bugzone"));
+        assert!(violation.reason.contains("intentional bug"));
+        let shown = violation.to_string();
+        assert!(shown.contains(&planted.to_string()), "display: {shown}");
+        assert!(shown.contains("bugzone"), "display: {shown}");
+    }
+
+    #[test]
+    fn infra_red_build_is_rebuilt_not_rejected() {
+        use sq_exec::{InfraFault, InfraFaultKind, RetryPolicy};
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let config = RecoveryConfig {
+            retry: RetryPolicy::none(), // no step retries: force whole-build redos
+            max_rebuilds: 2,
+            quarantine_threshold: u32::MAX,
+        };
+        let service = SubmitQueueService::with_recovery(demo_repo(), 2, config);
+        let base = service.head();
+        let t = service.submit(
+            "alice",
+            "lands despite a crashed worker",
+            base,
+            Patch::write(RepoPath::new("lib/l.rs").unwrap(), "pub fn l() { /* r */ }"),
+        );
+        // The very first step call crashes; every later call succeeds.
+        let calls = AtomicU32::new(0);
+        let action: Box<StepAction> = Box::new(move |_step, _tree| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                StepOutcome::InfraFailure(InfraFault {
+                    kind: InfraFaultKind::WorkerCrash,
+                    attempt: 1,
+                })
+            } else {
+                StepOutcome::Success
+            }
+        });
+        service.run_until_idle(&action);
+        assert!(matches!(service.status(t), Some(TicketState::Landed(_))));
+        let stats = service.stats();
+        assert_eq!((stats.landed, stats.rejected), (1, 0));
+        assert_eq!(stats.infra_rebuilds, 1);
+        let log = service.recovery_log();
+        assert!(log
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Rebuild { attempt: 1, .. })));
+    }
+
+    #[test]
+    fn exhausted_rebuilds_reject_with_infrastructure_reason() {
+        use sq_exec::{InfraFault, InfraFaultKind, RetryPolicy};
+        let config = RecoveryConfig {
+            retry: RetryPolicy::none(),
+            max_rebuilds: 1,
+            quarantine_threshold: u32::MAX,
+        };
+        let service = SubmitQueueService::with_recovery(demo_repo(), 2, config);
+        let head_before = service.head();
+        let t = service.submit(
+            "bob",
+            "doomed by the cluster",
+            head_before,
+            Patch::write(RepoPath::new("app/m.rs").unwrap(), "fn main() { /* x */ }"),
+        );
+        let action: Box<StepAction> = Box::new(|_step, _tree| {
+            StepOutcome::InfraFailure(InfraFault {
+                kind: InfraFaultKind::Timeout,
+                attempt: 1,
+            })
+        });
+        service.run_until_idle(&action);
+        match service.status(t) {
+            Some(TicketState::Rejected(reason)) => {
+                assert!(reason.contains("infrastructure"), "reason = {reason}");
+                assert!(reason.contains("change not at fault"), "reason = {reason}");
+            }
+            other => panic!("expected infra rejection, got {other:?}"),
+        }
+        assert_eq!(service.head(), head_before);
+        let stats = service.stats();
+        assert_eq!(stats.infra_rejected, 1);
+        assert_eq!(stats.infra_rebuilds, 1); // one redo, then gave up
+        assert_eq!(
+            service
+                .recovery_log()
+                .iter()
+                .filter(|e| matches!(e, RecoveryEvent::InfraRejected { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn chronic_flakes_quarantine_the_target_but_changes_still_land() {
+        use sq_exec::{InfraFault, InfraFaultKind, RetryPolicy};
+        use std::collections::HashMap as StdHashMap;
+        let config = RecoveryConfig {
+            retry: RetryPolicy::standard(3, 11),
+            max_rebuilds: 2,
+            quarantine_threshold: 2,
+        };
+        let service = SubmitQueueService::with_recovery(demo_repo(), 2, config);
+        // The lib compile flakes on every odd-numbered call (so: once
+        // per landing, since each flake is retried to success); retries
+        // absorb each flake and every change still lands.
+        let seen: Mutex<StdHashMap<BuildStep, u32>> = Mutex::new(StdHashMap::new());
+        let action: Box<StepAction> = Box::new(move |step, _tree| {
+            let is_lib_compile = step.target.to_string().contains("//lib")
+                && step.kind == sq_exec::StepKind::Compile;
+            let mut seen = seen.lock();
+            let n = seen.entry(step.clone()).or_insert(0);
+            *n += 1;
+            if is_lib_compile && *n % 2 == 1 {
+                StepOutcome::InfraFailure(InfraFault {
+                    kind: InfraFaultKind::TransientTooling,
+                    attempt: 1,
+                })
+            } else {
+                StepOutcome::Success
+            }
+        });
+        for i in 0..2 {
+            let base = service.head();
+            service.submit(
+                "alice",
+                format!("lib v{i}"),
+                base,
+                Patch::write(
+                    RepoPath::new("lib/l.rs").unwrap(),
+                    format!("pub fn l() {{ /* q{i} */ }}"),
+                ),
+            );
+            service.run_until_idle(&action);
+        }
+        let stats = service.stats();
+        assert_eq!((stats.landed, stats.rejected), (2, 0));
+        assert_eq!(stats.step_retries, 2);
+        // Two observed flakes on //lib:lib crossed the threshold.
+        let quarantined = service.quarantined_targets();
+        assert_eq!(quarantined.len(), 1);
+        assert!(quarantined[0].to_string().contains("//lib"));
+        assert!(service.recovery_log().iter().any(|e| matches!(
+            e,
+            RecoveryEvent::Quarantined {
+                observations: 2,
+                ..
+            }
+        )));
+        // Quarantine is advisory: the audit still verifies everything.
+        assert!(service.verify_history(&always_pass()).is_ok());
     }
 }

@@ -6,7 +6,15 @@
 //! Algorithm-1 hash plus the step kind: because the hash folds in the
 //! full transitive input closure, a hit is always sound to reuse — the
 //! hermeticity property of the build system.
+//!
+//! Soundness has a second leg under the failure model: an artifact may
+//! only enter the cache if the step that produced it *finally*
+//! succeeded. A step that infra-failed, or was retried and then failed,
+//! produced either nothing or garbage; caching it would poison every
+//! later build that hashes to the same key. [`ArtifactCache::insert_if_success`]
+//! is the guarded entry point the executor uses.
 
+use crate::executor::StepOutcome;
 use crate::step::StepKind;
 use sq_build::TargetHash;
 use std::collections::HashMap;
@@ -83,6 +91,22 @@ impl ArtifactCache {
         self.next_id += 1;
         self.map.insert((hash, kind), id);
         id
+    }
+
+    /// Record an artifact only if `outcome` is a final success; any
+    /// other outcome leaves the cache untouched and returns `None`
+    /// (the cache-poisoning guard of the failure model).
+    pub fn insert_if_success(
+        &mut self,
+        hash: TargetHash,
+        kind: StepKind,
+        outcome: &StepOutcome,
+    ) -> Option<ArtifactId> {
+        if outcome.is_success() {
+            Some(self.insert(hash, kind))
+        } else {
+            None
+        }
     }
 
     /// Current statistics.
@@ -193,5 +217,30 @@ mod tests {
     fn empty_hit_rate_is_zero() {
         let cache = ArtifactCache::new();
         assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn guarded_insert_refuses_non_success_outcomes() {
+        use crate::fault::{InfraFault, InfraFaultKind};
+        let mut cache = ArtifactCache::new();
+        let h = hash_of("v1");
+        let fault = StepOutcome::InfraFailure(InfraFault {
+            kind: InfraFaultKind::WorkerCrash,
+            attempt: 1,
+        });
+        assert!(cache
+            .insert_if_success(h, StepKind::Compile, &fault)
+            .is_none());
+        let failed = StepOutcome::Failure("compile error".into());
+        assert!(cache
+            .insert_if_success(h, StepKind::Compile, &failed)
+            .is_none());
+        assert_eq!(cache.stats().entries, 0);
+        assert!(!cache.contains(h, StepKind::Compile));
+        // A final success does insert.
+        assert!(cache
+            .insert_if_success(h, StepKind::Compile, &StepOutcome::Success)
+            .is_some());
+        assert_eq!(cache.stats().entries, 1);
     }
 }

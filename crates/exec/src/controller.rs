@@ -9,6 +9,7 @@
 use crate::balance::{DurationModel, LoadBalancer};
 use crate::cache::ArtifactCache;
 use crate::executor::{ExecReport, RealExecutor, StepOutcome};
+use crate::fault::RetryPolicy;
 use crate::plan::BuildPlan;
 use crate::step::BuildStep;
 use parking_lot::Mutex;
@@ -46,17 +47,29 @@ pub struct BuildController {
     threads: usize,
     cache: Mutex<ArtifactCache>,
     durations: Mutex<DurationModel>,
+    retry: RetryPolicy,
 }
 
 impl BuildController {
-    /// A controller with `threads` parallel workers.
+    /// A controller with `threads` parallel workers and no retries.
     pub fn new(threads: usize) -> Self {
+        Self::with_retry_policy(threads, RetryPolicy::none())
+    }
+
+    /// A controller that retries infra-failed steps under `retry`.
+    pub fn with_retry_policy(threads: usize, retry: RetryPolicy) -> Self {
         BuildController {
             executor: RealExecutor::new(threads),
             threads,
             cache: Mutex::new(ArtifactCache::new()),
             durations: Mutex::new(DurationModel::default()),
+            retry,
         }
+    }
+
+    /// The retry policy governing infra failures.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Plan and execute the affected set of a change.
@@ -88,9 +101,13 @@ impl BuildController {
         // 3. Execute, observing real durations.
         let targets: HashSet<TargetName> = plan.steps.iter().map(|s| s.target.clone()).collect();
         let started = Instant::now();
-        let exec = self
-            .executor
-            .execute(graph, &targets, hashes, &self.cache, |step| {
+        let exec = self.executor.execute_with_recovery(
+            graph,
+            &targets,
+            hashes,
+            &self.cache,
+            &self.retry,
+            |step| {
                 let t0 = Instant::now();
                 let out = action(step);
                 self.durations.lock().observe(
@@ -99,7 +116,8 @@ impl BuildController {
                     SimDuration::from_secs_f64(t0.elapsed().as_secs_f64()),
                 );
                 out
-            });
+            },
+        );
         ControllerReport {
             planned_steps: plan.steps.len(),
             cached_steps: plan.cached_steps,
@@ -214,6 +232,54 @@ mod tests {
         let (step, reason) = report.exec.failure.as_ref().unwrap();
         assert_eq!(step.kind, StepKind::Link);
         assert_eq!(reason, "linker error");
+    }
+
+    #[test]
+    fn controller_absorbs_flaky_steps_under_retry_policy() {
+        use crate::fault::{InfraFault, InfraFaultKind, RetryPolicy};
+        use std::collections::HashMap;
+        let (tree, mut store) = workspace();
+        let patch = Patch::write(RepoPath::new("lib/l.rs").unwrap(), "v5");
+        let (analysis, delta) = delta_for(&tree, &mut store, &patch);
+        let controller = BuildController::with_retry_policy(2, RetryPolicy::standard(3, 21));
+        let attempts: Mutex<HashMap<BuildStep, u32>> = Mutex::new(HashMap::new());
+        let report = controller.execute_affected(&analysis.graph, &analysis.hashes, &delta, |s| {
+            let mut a = attempts.lock();
+            let cnt = a.entry(s.clone()).or_insert(0);
+            *cnt += 1;
+            if *cnt == 1 {
+                StepOutcome::InfraFailure(InfraFault {
+                    kind: InfraFaultKind::Timeout,
+                    attempt: 1,
+                })
+            } else {
+                StepOutcome::Success
+            }
+        });
+        assert!(report.is_success(), "{:?}", report.exec);
+        assert_eq!(report.exec.infra_retries as usize, report.planned_steps);
+        assert!(report.exec.charged_backoff > sq_sim::SimDuration::ZERO);
+        assert!(controller.cache_stats().entries >= report.planned_steps);
+    }
+
+    #[test]
+    fn controller_without_retries_surfaces_infra_red() {
+        use crate::fault::{InfraFault, InfraFaultKind};
+        let (tree, mut store) = workspace();
+        let patch = Patch::write(RepoPath::new("lib/l.rs").unwrap(), "v6");
+        let (analysis, delta) = delta_for(&tree, &mut store, &patch);
+        let controller = BuildController::new(2);
+        let report = controller.execute_affected(&analysis.graph, &analysis.hashes, &delta, |_| {
+            StepOutcome::InfraFailure(InfraFault {
+                kind: InfraFaultKind::WorkerCrash,
+                attempt: 1,
+            })
+        });
+        assert!(!report.is_success());
+        assert!(report.exec.is_infra_red());
+        assert!(report.exec.failure.is_none());
+        // Nothing entered the cache.
+        assert_eq!(controller.cache_stats().entries, 0);
     }
 
     #[test]

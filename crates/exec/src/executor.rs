@@ -10,11 +10,21 @@
 //! Failure policy is fail-fast: once any step fails, no new targets are
 //! dispatched (in-flight ones drain), mirroring how the paper's build
 //! controller aborts doomed speculations early.
+//!
+//! Failures come in two colors (the [`fault`](crate::fault) module's
+//! taxonomy): a genuine [`StepOutcome::Failure`] means the change is
+//! bad and resolves immediately, while a [`StepOutcome::InfraFailure`]
+//! is environmental and is retried under the caller's [`RetryPolicy`]
+//! with deterministic backoff charged as build time. Artifacts enter
+//! the cache only for steps whose *final* outcome is success, so a
+//! flaky or crashed step can never poison the cache.
 
 use crate::cache::ArtifactCache;
+use crate::fault::{InfraFault, RetryPolicy};
 use crate::step::{steps_for, BuildStep};
 use parking_lot::Mutex;
 use sq_build::{BuildGraph, TargetHashes, TargetName};
+use sq_sim::SimDuration;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -23,8 +33,20 @@ use std::sync::atomic::{AtomicBool, Ordering};
 pub enum StepOutcome {
     /// The step succeeded.
     Success,
-    /// The step failed with a reason.
+    /// The step genuinely failed with a reason: the change is bad.
+    /// Never retried — a red compile stays red.
     Failure(String),
+    /// The step failed for infrastructure reasons (worker crash,
+    /// timeout, transient tooling): says nothing about the change.
+    /// Retried under the executor's [`RetryPolicy`].
+    InfraFailure(InfraFault),
+}
+
+impl StepOutcome {
+    /// True iff the outcome is [`StepOutcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, StepOutcome::Success)
+    }
 }
 
 /// Report from an execution run.
@@ -34,14 +56,30 @@ pub struct ExecReport {
     pub executed: Vec<BuildStep>,
     /// Steps skipped via the artifact cache.
     pub cache_hits: usize,
-    /// The first failure observed, if any.
+    /// The first genuine failure observed, if any.
     pub failure: Option<(BuildStep, String)>,
+    /// The infra failure that exhausted its retry budget, if any.
+    pub infra_failure: Option<(BuildStep, InfraFault)>,
+    /// Every infra fault observed, including ones recovered by retry
+    /// (completion order; feeds flakiness attribution upstream).
+    pub infra_events: Vec<(BuildStep, InfraFault)>,
+    /// Step attempts that were retried after an infra fault.
+    pub infra_retries: u64,
+    /// Total deterministic backoff charged as build time by retries.
+    pub charged_backoff: SimDuration,
 }
 
 impl ExecReport {
-    /// True iff every step succeeded.
+    /// True iff every step succeeded (no genuine or infra failure).
     pub fn is_success(&self) -> bool {
-        self.failure.is_none()
+        self.failure.is_none() && self.infra_failure.is_none()
+    }
+
+    /// True iff the run ended red purely for infrastructure reasons:
+    /// retries exhausted without any genuine failure. Such a run says
+    /// nothing about the change — callers should rebuild, not reject.
+    pub fn is_infra_red(&self) -> bool {
+        self.failure.is_none() && self.infra_failure.is_some()
     }
 }
 
@@ -67,12 +105,38 @@ impl RealExecutor {
     /// * `action` runs each step; it must be thread-safe. Steps of one
     ///   target run sequentially; distinct ready targets run in parallel.
     /// * Steps whose `(target hash, step kind)` is cached are skipped.
+    ///
+    /// Infra failures are not retried (policy bound 1); use
+    /// [`Self::execute_with_recovery`] to tolerate flaky steps.
     pub fn execute<F>(
         &self,
         graph: &BuildGraph,
         targets: &HashSet<TargetName>,
         hashes: &TargetHashes,
         cache: &Mutex<ArtifactCache>,
+        action: F,
+    ) -> ExecReport
+    where
+        F: Fn(&BuildStep) -> StepOutcome + Sync,
+    {
+        self.execute_with_recovery(graph, targets, hashes, cache, &RetryPolicy::none(), action)
+    }
+
+    /// [`Self::execute`], retrying infra-failed steps under `policy`.
+    ///
+    /// A step that returns [`StepOutcome::InfraFailure`] is re-run up
+    /// to the policy's attempt bound, with each retry's deterministic
+    /// backoff charged to the report (not slept — wall clock stays
+    /// fast; the simulator accounts the latency). Genuine failures are
+    /// never retried. A step whose final outcome is not success never
+    /// reaches the artifact cache.
+    pub fn execute_with_recovery<F>(
+        &self,
+        graph: &BuildGraph,
+        targets: &HashSet<TargetName>,
+        hashes: &TargetHashes,
+        cache: &Mutex<ArtifactCache>,
+        policy: &RetryPolicy,
         action: F,
     ) -> ExecReport
     where
@@ -148,10 +212,37 @@ impl RealExecutor {
                                 continue;
                             }
                         }
-                        match action(&step) {
+                        // Attempt loop: infra failures retry under the
+                        // policy; genuine outcomes resolve immediately.
+                        let mut attempt = 1u32;
+                        let outcome = loop {
+                            match action(&step) {
+                                StepOutcome::InfraFailure(fault) => {
+                                    state
+                                        .lock()
+                                        .report
+                                        .infra_events
+                                        .push((step.clone(), fault.clone()));
+                                    if policy.should_retry(attempt) {
+                                        let backoff = policy.backoff(attempt);
+                                        let mut st = state.lock();
+                                        st.report.infra_retries += 1;
+                                        st.report.charged_backoff += backoff;
+                                        drop(st);
+                                        attempt += 1;
+                                        continue;
+                                    }
+                                    break StepOutcome::InfraFailure(fault);
+                                }
+                                other => break other,
+                            }
+                        };
+                        match outcome {
                             StepOutcome::Success => {
                                 if let Some(h) = hash {
-                                    cache.lock().insert(h, kind);
+                                    let inserted =
+                                        cache.lock().insert_if_success(h, kind, &outcome);
+                                    debug_assert!(inserted.is_some());
                                 }
                                 state.lock().report.executed.push(step);
                             }
@@ -159,6 +250,21 @@ impl RealExecutor {
                                 let mut st = state.lock();
                                 if st.report.failure.is_none() {
                                     st.report.failure = Some((step, reason));
+                                }
+                                drop(st);
+                                aborted.store(true, Ordering::SeqCst);
+                                target_failed = true;
+                                break;
+                            }
+                            StepOutcome::InfraFailure(fault) => {
+                                // Retry budget exhausted: the build is
+                                // infra-red. Fail fast like a genuine
+                                // failure, but keep the colors apart so
+                                // the caller can rebuild instead of
+                                // rejecting the change.
+                                let mut st = state.lock();
+                                if st.report.infra_failure.is_none() {
+                                    st.report.infra_failure = Some((step, fault));
                                 }
                                 drop(st);
                                 aborted.store(true, Ordering::SeqCst);
@@ -350,6 +456,226 @@ mod tests {
             .execute(&graph, &targets, &hashes, &cache, |_| StepOutcome::Success);
         assert!(report.is_success());
         assert_eq!(report.executed.len(), 2); // compile + run-tests
+    }
+
+    #[test]
+    fn flaky_step_recovers_via_retries_and_charges_backoff() {
+        let (graph, hashes, targets) = fixture();
+        let cache = Mutex::new(ArtifactCache::new());
+        let policy = RetryPolicy::standard(3, 42);
+        // Every step infra-fails on its first attempt, passes after.
+        let attempts: Mutex<HashMap<BuildStep, u32>> = Mutex::new(HashMap::new());
+        let report = RealExecutor::new(2).execute_with_recovery(
+            &graph,
+            &targets,
+            &hashes,
+            &cache,
+            &policy,
+            |step| {
+                let mut a = attempts.lock();
+                let n = a.entry(step.clone()).or_insert(0);
+                *n += 1;
+                if *n == 1 {
+                    StepOutcome::InfraFailure(InfraFault {
+                        kind: crate::fault::InfraFaultKind::Timeout,
+                        attempt: 1,
+                    })
+                } else {
+                    StepOutcome::Success
+                }
+            },
+        );
+        assert!(report.is_success(), "flakes must be absorbed: {report:?}");
+        assert_eq!(report.executed.len(), 5);
+        assert_eq!(report.infra_retries, 5, "one retry per step");
+        assert_eq!(report.infra_events.len(), 5);
+        assert!(report.charged_backoff > SimDuration::ZERO);
+        // Recovered steps are cached like any success.
+        assert_eq!(cache.lock().stats().entries, 5);
+    }
+
+    #[test]
+    fn exhausted_retries_are_infra_red_not_change_red() {
+        let (graph, hashes, targets) = fixture();
+        let cache = Mutex::new(ArtifactCache::new());
+        let policy = RetryPolicy::standard(3, 7);
+        let report = RealExecutor::new(2).execute_with_recovery(
+            &graph,
+            &targets,
+            &hashes,
+            &cache,
+            &policy,
+            |step| {
+                if step.target == n("//b:b") {
+                    StepOutcome::InfraFailure(InfraFault {
+                        kind: crate::fault::InfraFaultKind::WorkerCrash,
+                        attempt: 0,
+                    })
+                } else {
+                    StepOutcome::Success
+                }
+            },
+        );
+        assert!(!report.is_success());
+        assert!(report.is_infra_red(), "no genuine failure happened");
+        assert!(report.failure.is_none());
+        let (step, _) = report.infra_failure.as_ref().unwrap();
+        assert_eq!(step.target, n("//b:b"));
+        // All three attempts were observed, two of them retried.
+        assert_eq!(report.infra_retries, 2);
+        assert_eq!(report.infra_events.len(), 3);
+        // Fail-fast still applies: c (dependent of b) never ran.
+        assert!(report.executed.iter().all(|s| s.target != n("//c:c")));
+    }
+
+    /// Acceptance criterion: the cache never contains an artifact from a
+    /// step whose final outcome was not `Success` — neither infra-failed
+    /// steps, nor steps that retried and then genuinely failed.
+    #[test]
+    fn cache_never_poisoned_by_failed_or_retried_then_failed_steps() {
+        let (graph, hashes, targets) = fixture();
+        let cache = Mutex::new(ArtifactCache::new());
+        let policy = RetryPolicy::standard(4, 9);
+        // //b:b infra-fails forever (exhausts retries); //d:d infra-fails
+        // once and then fails genuinely; the rest succeed.
+        let attempts: Mutex<HashMap<BuildStep, u32>> = Mutex::new(HashMap::new());
+        let report = RealExecutor::new(2).execute_with_recovery(
+            &graph,
+            &targets,
+            &hashes,
+            &cache,
+            &policy,
+            |step| {
+                let mut a = attempts.lock();
+                let cnt = a.entry(step.clone()).or_insert(0);
+                *cnt += 1;
+                if step.target == n("//b:b") {
+                    StepOutcome::InfraFailure(InfraFault {
+                        kind: crate::fault::InfraFaultKind::TransientTooling,
+                        attempt: *cnt,
+                    })
+                } else if step.target == n("//d:d") {
+                    if *cnt == 1 {
+                        StepOutcome::InfraFailure(InfraFault {
+                            kind: crate::fault::InfraFaultKind::Timeout,
+                            attempt: 1,
+                        })
+                    } else {
+                        StepOutcome::Failure("genuine breakage".into())
+                    }
+                } else {
+                    StepOutcome::Success
+                }
+            },
+        );
+        assert!(!report.is_success());
+        let cache = cache.lock();
+        for (target, must_be_absent) in [("//b:b", true), ("//d:d", true)] {
+            let h = hashes.get(&n(target)).unwrap();
+            for &kind in steps_for(graph.get(&n(target)).unwrap().kind) {
+                assert!(
+                    !cache.contains(h, kind),
+                    "{target} {kind} cached despite non-success final outcome \
+                     (must_be_absent={must_be_absent})"
+                );
+            }
+        }
+        // Only steps whose final outcome was Success are cached.
+        assert_eq!(cache.stats().entries, report.executed.len());
+    }
+
+    /// Satellite regression: fail-fast drain. After the first failure,
+    /// no *new* target is dispatched, while in-flight targets complete.
+    #[test]
+    fn fail_fast_drains_in_flight_without_new_dispatches() {
+        use std::sync::atomic::AtomicUsize;
+        // f and s are independent and ready; p1, p2 depend on both, so
+        // they become dispatchable only once f and s complete.
+        let mut store = ObjectStore::new();
+        let mut tree = Tree::new();
+        for (path, content) in [
+            ("f/s.rs", "f"),
+            ("s/s.rs", "s"),
+            ("p1/s.rs", "p1"),
+            ("p2/s.rs", "p2"),
+        ] {
+            let id = store.put(content.as_bytes().to_vec());
+            tree.insert(p(path), id);
+        }
+        let graph = BuildGraph::from_targets([
+            Target::new(n("//f:f"), RuleKind::Library, vec![p("f/s.rs")], vec![]),
+            Target::new(n("//s:s"), RuleKind::Library, vec![p("s/s.rs")], vec![]),
+            Target::new(
+                n("//p1:p1"),
+                RuleKind::Library,
+                vec![p("p1/s.rs")],
+                vec![n("//f:f"), n("//s:s")],
+            ),
+            Target::new(
+                n("//p2:p2"),
+                RuleKind::Library,
+                vec![p("p2/s.rs")],
+                vec![n("//f:f"), n("//s:s")],
+            ),
+        ])
+        .unwrap();
+        let hashes = TargetHashes::compute(&graph, &tree, &store).unwrap();
+        let targets: HashSet<TargetName> = ["//f:f", "//s:s", "//p1:p1", "//p2:p2"]
+            .iter()
+            .map(|s| n(s))
+            .collect();
+        let cache = Mutex::new(ArtifactCache::new());
+        let s_started = AtomicBool::new(false);
+        let f_failed = AtomicBool::new(false);
+        let dispatched_after_failure = AtomicUsize::new(0);
+        let report = RealExecutor::new(2).execute(&graph, &targets, &hashes, &cache, |step| {
+            if step.target == n("//f:f") {
+                // Wait until the sibling is genuinely in flight, then fail.
+                for _ in 0..100_000 {
+                    if s_started.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                f_failed.store(true, Ordering::SeqCst);
+                StepOutcome::Failure("first failure".into())
+            } else if step.target == n("//s:s") {
+                s_started.store(true, Ordering::SeqCst);
+                // Drain window: linger until the failure has been
+                // delivered, giving a buggy scheduler every chance to
+                // dispatch p1/p2 behind our back.
+                for _ in 0..100_000 {
+                    if f_failed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                for _ in 0..1_000 {
+                    std::thread::yield_now();
+                }
+                StepOutcome::Success
+            } else {
+                // p1/p2 must never be dispatched.
+                if f_failed.load(Ordering::SeqCst) {
+                    dispatched_after_failure.fetch_add(1, Ordering::SeqCst);
+                }
+                StepOutcome::Success
+            }
+        });
+        assert!(!report.is_success());
+        assert_eq!(report.failure.as_ref().unwrap().0.target, n("//f:f"));
+        // The in-flight target drained to completion...
+        assert!(
+            report.executed.iter().any(|s| s.target == n("//s:s")),
+            "in-flight step must complete: {:?}",
+            report.executed
+        );
+        // ...and nothing new was dispatched after the failure.
+        assert_eq!(dispatched_after_failure.load(Ordering::SeqCst), 0);
+        assert!(report
+            .executed
+            .iter()
+            .all(|s| s.target != n("//p1:p1") && s.target != n("//p2:p2")));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod balance;
 pub mod cache;
 pub mod controller;
 pub mod executor;
+pub mod fault;
 pub mod plan;
 pub mod pool;
 pub mod step;
@@ -35,6 +36,7 @@ pub use balance::{DurationModel, LoadBalancer};
 pub use cache::{ArtifactCache, ArtifactId};
 pub use controller::{BuildController, ControllerReport};
 pub use executor::{ExecReport, RealExecutor, StepOutcome};
+pub use fault::{FaultInjector, FaultPlan, InfraFault, InfraFaultKind, RetryPolicy};
 pub use plan::BuildPlan;
 pub use pool::WorkerPool;
 pub use step::{steps_for, BuildStep, StepKind};

@@ -1,0 +1,83 @@
+//! Property tests for the retry policy's backoff schedule: the failure
+//! model's determinism guarantee hinges on backoffs being a pure
+//! function of `(policy, seed, attempt)`, and charged delay growing
+//! monotonically with attempt count.
+
+use proptest::prelude::*;
+use sq_exec::RetryPolicy;
+use sq_sim::SimDuration;
+
+fn policy(
+    seed: u64,
+    base_secs: u64,
+    multiplier: f64,
+    cap_secs: u64,
+    max_attempts: u32,
+) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base: SimDuration::from_secs(base_secs),
+        multiplier,
+        max_backoff: SimDuration::from_secs(cap_secs),
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn equal_seeds_give_identical_schedules(
+        seed in 0u64..u64::MAX,
+        base in 1u64..120,
+        cap in 120u64..3_600,
+        attempts in 1u32..16,
+    ) {
+        let a = policy(seed, base, 2.0, cap, attempts + 1);
+        let b = policy(seed, base, 2.0, cap, attempts + 1);
+        for k in 1..=attempts {
+            prop_assert_eq!(a.backoff(k), b.backoff(k), "attempt {}", k);
+        }
+        prop_assert_eq!(a.total_backoff(attempts), b.total_backoff(attempts));
+    }
+
+    #[test]
+    fn distinct_seeds_eventually_diverge(
+        seed in 0u64..(u64::MAX / 2),
+        base in 10u64..120,
+    ) {
+        let a = policy(seed, base, 2.0, 3_600, 8);
+        let b = policy(seed + 1, base, 2.0, 3_600, 8);
+        // Jitter is seed-keyed: across 8 attempts at least one backoff
+        // must differ (collision of all 8 draws would defeat the point).
+        let differs = (1..=8u32).any(|k| a.backoff(k) != b.backoff(k));
+        prop_assert!(differs);
+    }
+
+    #[test]
+    fn total_charged_delay_is_monotone_in_attempts(
+        seed in 0u64..u64::MAX,
+        base in 1u64..300,
+        cap in 1u64..7_200,
+        attempts in 1u32..20,
+    ) {
+        let p = policy(seed, base, 1.7, cap, attempts + 2);
+        let mut prev = SimDuration::ZERO;
+        for k in 1..=attempts {
+            let total = p.total_backoff(k);
+            prop_assert!(total >= prev, "total charged delay shrank at attempt {}", k);
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn each_backoff_respects_the_cap(
+        seed in 0u64..u64::MAX,
+        base in 1u64..600,
+        cap in 1u64..600,
+        attempt in 1u32..24,
+    ) {
+        let p = policy(seed, base, 2.0, cap, 32);
+        prop_assert!(p.backoff(attempt) <= SimDuration::from_secs(cap));
+    }
+}

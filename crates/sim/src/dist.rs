@@ -188,6 +188,50 @@ impl Distribution for Pareto {
     }
 }
 
+/// A Bernoulli distribution: 1.0 with probability `p`, else 0.0.
+///
+/// The fault-injection layer's distributional face: flake-rate sweeps
+/// draw per-attempt infra-fault indicators from it, and `p` is the
+/// flake rate the bench binaries iterate over.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Create from a success probability. Panics unless `p` is a
+    /// probability in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "bernoulli probability must be in [0,1], got {p}"
+        );
+        Bernoulli { p }
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draw a boolean directly.
+    pub fn draw(&self, rng: &mut Xoshiro256StarStar) -> bool {
+        // p = 0 must never fire and p = 1 must always fire, regardless
+        // of the rng's exact [0,1) draw.
+        self.p > 0.0 && rng.next_f64() < self.p
+    }
+}
+
+impl Distribution for Bernoulli {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        if self.draw(rng) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Walker's alias method: O(1) sampling from a fixed discrete distribution
 /// after O(n) preprocessing.
 ///
@@ -352,6 +396,31 @@ mod tests {
         for _ in 0..10_000 {
             assert!(d.sample(&mut r) >= 1.5);
         }
+    }
+
+    #[test]
+    fn bernoulli_matches_rate() {
+        let d = Bernoulli::new(0.3);
+        let m = sample_mean(&d, 200_000);
+        assert!((m - 0.3).abs() < 0.005, "rate = {m}");
+        assert!((d.p() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_extremes_are_exact() {
+        let never = Bernoulli::new(0.0);
+        let always = Bernoulli::new(1.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(!never.draw(&mut r));
+            assert!(always.draw(&mut r));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bernoulli_rejects_out_of_range() {
+        Bernoulli::new(1.5);
     }
 
     #[test]

@@ -14,6 +14,9 @@ cargo build --release
 echo "==> cargo test -q (root package: integration + property suites)"
 cargo test -q
 
+echo "==> cargo test -q --test chaos_recovery (fault injection: green mainline, no wrongful rejections, reproducible histories)"
+cargo test -q --test chaos_recovery
+
 echo "==> cargo test --workspace -q (every crate, including vendor shims)"
 cargo test --workspace -q
 

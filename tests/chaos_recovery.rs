@@ -1,0 +1,205 @@
+//! Chaos test: the full service under injected infrastructure faults.
+//!
+//! A seeded [`FaultInjector`] wraps the ground-truth step action, so a
+//! configurable fraction of step attempts come back infra-red (worker
+//! crashes, timeouts, tooling blips). The service's recovery layer must
+//! absorb all of it:
+//!
+//! * (a) the mainline stays green — `verify_history` passes even when
+//!   the audit itself runs under the same faulty action;
+//! * (b) no genuinely-passing change is ever rejected, and no broken
+//!   change ever lands;
+//! * (c) reruns with the same seed produce bit-identical histories
+//!   (same ticket outcomes, same commit log, same HEAD).
+
+use keeping_master_green::core::recovery::RecoveryConfig;
+use keeping_master_green::core::service::{StepAction, SubmitQueueService, TicketState};
+use keeping_master_green::exec::{FaultInjector, FaultPlan, RetryPolicy, StepOutcome};
+use keeping_master_green::vcs::{FileOp, Patch, RepoPath};
+use sq_workload::repo_model::MaterializedRepo;
+use sq_workload::{ChangeSpec, WorkloadBuilder, WorkloadParams};
+
+const FLAKE_RATE: f64 = 0.15; // ≥ 0.1 per-step infra-fault probability
+const SEEDS: [u64; 3] = [1, 2, 3];
+const N_CHANGES: usize = 24;
+
+fn small_params() -> WorkloadParams {
+    let mut p = WorkloadParams::ios();
+    p.n_parts = 16;
+    p
+}
+
+/// Render a change as a patch, planting a visible bug marker when the
+/// ground truth says the change is intrinsically broken.
+fn patch_with_truth(m: &MaterializedRepo, c: &ChangeSpec) -> Patch {
+    let mut patch = m.patch_for(c);
+    if !c.intrinsic_success {
+        let pkg = m.package_of(c.parts[0]);
+        patch.push(FileOp::Write {
+            path: RepoPath::new(format!("{pkg}/bug_marker_{}.txt", c.id.0)).unwrap(),
+            content: "this change is broken".into(),
+        });
+    }
+    patch
+}
+
+/// The genuine outcome of a step: fails iff the target's package
+/// contains a bug marker.
+fn truth_outcome(
+    step: &keeping_master_green::exec::BuildStep,
+    tree: &keeping_master_green::vcs::Tree,
+) -> StepOutcome {
+    let pkg = step.target.package();
+    let has_bug = tree
+        .paths_under(pkg)
+        .any(|p| p.file_name().starts_with("bug_marker"));
+    if has_bug {
+        StepOutcome::Failure(format!("bug marker present in {pkg}"))
+    } else {
+        StepOutcome::Success
+    }
+}
+
+/// Everything that defines "the history" of a run — the observables
+/// that must be bit-identical across reruns with the same seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct History {
+    /// (change id, final ticket state rendered) in submission order.
+    outcomes: Vec<(u64, String)>,
+    /// Final mainline HEAD.
+    head: String,
+    /// Commit points verified green by the from-scratch audit.
+    verified: usize,
+}
+
+struct ChaosRun {
+    history: History,
+    landed: u64,
+    rejected: u64,
+    step_retries: u64,
+    good: Vec<u64>,
+    bad: Vec<u64>,
+}
+
+fn chaos_run(seed: u64, rate: f64) -> ChaosRun {
+    let params = small_params();
+    let m = MaterializedRepo::generate(&params).unwrap();
+    let w = WorkloadBuilder::new(params)
+        .seed(seed)
+        .n_changes(N_CHANGES)
+        .build()
+        .unwrap();
+    let recovery = RecoveryConfig {
+        retry: RetryPolicy::standard(6, seed),
+        max_rebuilds: 3,
+        quarantine_threshold: 3,
+    };
+    let service = SubmitQueueService::with_recovery(m.repo.clone(), 3, recovery);
+    let injector = FaultInjector::new(FaultPlan::uniform(seed ^ 0xC4A05, rate));
+    let action: Box<StepAction> =
+        Box::new(move |step, tree| injector.run(step, |s| truth_outcome(s, tree)));
+
+    let mut outcomes = Vec::with_capacity(w.changes.len());
+    let (mut good, mut bad) = (Vec::new(), Vec::new());
+    for c in &w.changes {
+        if c.intrinsic_success {
+            good.push(c.id.0);
+        } else {
+            bad.push(c.id.0);
+        }
+        let base = service.head();
+        let ticket = service.submit(
+            format!("dev{}", c.developer.0),
+            format!("change {}", c.id),
+            base,
+            patch_with_truth(&m, c),
+        );
+        service.run_until_idle(&action);
+        let state = match service.status(ticket).unwrap() {
+            TicketState::Landed(commit) => format!("landed {commit}"),
+            TicketState::Rejected(reason) => format!("rejected: {reason}"),
+            TicketState::Queued => panic!("queue drained but {ticket} still queued"),
+        };
+        outcomes.push((c.id.0, state));
+    }
+    // (a) Mainline green, audited under the *same* faulty action: the
+    // audit's own retries absorb the injected flakes.
+    let verified = service
+        .verify_history(&action)
+        .unwrap_or_else(|e| panic!("seed {seed}: mainline not green under faults: {e}"));
+    let stats = service.stats();
+    ChaosRun {
+        history: History {
+            outcomes,
+            head: service.head().to_string(),
+            verified,
+        },
+        landed: stats.landed,
+        rejected: stats.rejected,
+        step_retries: stats.step_retries,
+        good,
+        bad,
+    }
+}
+
+#[test]
+fn chaos_faults_never_reject_good_changes_and_history_is_reproducible() {
+    for seed in SEEDS {
+        let run = chaos_run(seed, FLAKE_RATE);
+
+        // Faults actually fired: at a 15% per-step rate over dozens of
+        // steps, silence would mean the injector is disconnected.
+        assert!(
+            run.step_retries > 0,
+            "seed {seed}: no infra faults were injected"
+        );
+
+        // (b) Every genuinely-passing change landed; every broken one
+        // was rejected for its *content*, not for infrastructure.
+        assert_eq!(
+            run.landed + run.rejected,
+            N_CHANGES as u64,
+            "seed {seed}: unresolved tickets"
+        );
+        for (id, state) in &run.history.outcomes {
+            if run.good.contains(id) {
+                assert!(
+                    state.starts_with("landed"),
+                    "seed {seed}: genuinely-passing change C{id} was rejected: {state}"
+                );
+            } else {
+                assert!(run.bad.contains(id));
+                assert!(
+                    state.starts_with("rejected"),
+                    "seed {seed}: broken change C{id} landed: {state}"
+                );
+                assert!(
+                    !state.contains("infrastructure"),
+                    "seed {seed}: broken change C{id} blamed on infra: {state}"
+                );
+            }
+        }
+
+        // (a) The audit saw root + every landed change, all green.
+        assert_eq!(run.history.verified as u64, run.landed + 1, "seed {seed}");
+
+        // (c) Same seed ⇒ bit-identical history.
+        let rerun = chaos_run(seed, FLAKE_RATE);
+        assert_eq!(
+            run.history, rerun.history,
+            "seed {seed}: rerun produced a different history"
+        );
+    }
+}
+
+#[test]
+fn chaos_distinct_seeds_inject_distinct_fault_patterns() {
+    // Not a determinism requirement — a sanity check that the seed
+    // actually steers the injected fault pattern.
+    let a = chaos_run(SEEDS[0], FLAKE_RATE);
+    let b = chaos_run(SEEDS[1], FLAKE_RATE);
+    assert!(
+        a.step_retries != b.step_retries || a.history.outcomes != b.history.outcomes,
+        "two different seeds produced identical runs and retry counts"
+    );
+}
