@@ -75,16 +75,16 @@ fn main() {
                 ..BatchingConfig::default()
             },
         );
-        let (p50, p95, _) = r.turnaround_p50_p95_p99();
-        println!(
-            "{k:>12} {p50:>9.1} {p95:>9.1} {:>14.2} {:>16.1}",
-            r.builds_per_change(),
-            r.worker_mins_per_commit()
-        );
+        let (p50, p95, _) = r
+            .turnaround_p50_p95_p99()
+            .expect("workload resolves changes");
+        let bpc = r.builds_per_change().expect("workload resolves changes");
+        let wmpc = r
+            .worker_mins_per_commit()
+            .expect("workload commits changes");
+        println!("{k:>12} {p50:>9.1} {p95:>9.1} {bpc:>14.2} {wmpc:>16.1}");
         rows.push(format!(
-            "batching,k={k},{p50:.1},{p95:.1},{:.3},{:.1}",
-            r.builds_per_change(),
-            r.worker_mins_per_commit()
+            "batching,k={k},{p50:.1},{p95:.1},{bpc:.3},{wmpc:.1}"
         ));
     }
     println!("\npaper §10: batching lowers hardware cost; mispredicted batches raise turnaround");

@@ -1,0 +1,54 @@
+//! Seeded end-to-end benchmark emitting a machine-readable JSON report.
+//!
+//! Default mode runs the recorded configuration and writes
+//! `BENCH_e2e.json` at the repository root; `--smoke` runs a small
+//! configuration under a tight time budget, writes the document under
+//! `target/figures/`, and exits nonzero unless it validates. Both
+//! modes validate the emitted JSON before writing it. The document is
+//! byte-identical across same-seed runs (see `sq_bench::e2e`).
+
+use sq_bench::e2e::{run_e2e, validate, E2eParams};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let params = if smoke {
+        E2eParams::smoke()
+    } else {
+        E2eParams::standard()
+    };
+    println!(
+        "[bench_e2e] {} run: seed={} changes={} rate={}/h workers={} fault_rate={}",
+        if smoke { "smoke" } else { "standard" },
+        params.seed,
+        params.n_changes,
+        params.rate,
+        params.workers,
+        params.fault_rate
+    );
+    let json = run_e2e(&params);
+    if let Err(e) = validate(&json) {
+        eprintln!("[bench_e2e] FAIL: emitted document is invalid: {e}");
+        std::process::exit(1);
+    }
+    let path = if smoke {
+        sq_bench::figures_dir().join("BENCH_e2e_smoke.json")
+    } else {
+        repo_root().join("BENCH_e2e.json")
+    };
+    std::fs::write(&path, &json).expect("write benchmark JSON");
+    println!(
+        "[bench_e2e] ok: wrote {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench/ -> crates/ -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf()
+}

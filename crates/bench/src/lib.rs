@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod e2e;
+
 use sq_core::planner::{run_simulation, PlannerConfig, SimResult};
 use sq_core::predict::LearnedPredictor;
 use sq_core::strategy::{Strategy, StrategyKind};

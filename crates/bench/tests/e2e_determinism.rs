@@ -1,0 +1,33 @@
+//! The e2e benchmark document must be a pure function of its params:
+//! two same-seed runs are byte-identical, and the output validates.
+
+use sq_bench::e2e::{run_e2e, validate, E2eParams};
+
+/// Smoke-sized so the double run stays fast in debug builds.
+fn tiny() -> E2eParams {
+    E2eParams {
+        seed: 7,
+        n_changes: 25,
+        rate: 150.0,
+        workers: 30,
+        fault_rate: 0.1,
+        history_changes: 400,
+    }
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical_and_valid() {
+    let params = tiny();
+    let a = run_e2e(&params);
+    let b = run_e2e(&params);
+    assert_eq!(a, b, "same-seed e2e documents must be byte-identical");
+    validate(&a).expect("document must carry every required field");
+}
+
+#[test]
+fn different_seeds_change_the_document() {
+    let a = run_e2e(&tiny());
+    let b = run_e2e(&E2eParams { seed: 8, ..tiny() });
+    assert_ne!(a, b);
+    validate(&b).expect("document must validate for any seed");
+}

@@ -56,29 +56,32 @@ pub struct BatchingResult {
 }
 
 impl BatchingResult {
-    /// Turnaround percentiles in minutes: (P50, P95, P99).
-    pub fn turnaround_p50_p95_p99(&self) -> (f64, f64, f64) {
+    /// Turnaround percentiles in minutes: (P50, P95, P99). `None` when no
+    /// change resolved — a 0-minute turnaround would read as "instant",
+    /// not "no data".
+    pub fn turnaround_p50_p95_p99(&self) -> Option<(f64, f64, f64)> {
         let mut p = sq_sim::Percentiles::with_capacity(self.records.len());
         for r in &self.records {
             p.push(r.turnaround.as_mins_f64());
         }
-        p.p50_p95_p99().unwrap_or((0.0, 0.0, 0.0))
+        p.p50_p95_p99()
     }
 
-    /// Builds per resolved change — the hardware-saving measure.
-    pub fn builds_per_change(&self) -> f64 {
+    /// Builds per resolved change — the hardware-saving measure. `None`
+    /// when no change resolved (0.0 would read as "free builds").
+    pub fn builds_per_change(&self) -> Option<f64> {
         if self.records.is_empty() {
-            return 0.0;
+            return None;
         }
-        self.builds_run as f64 / self.records.len() as f64
+        Some(self.builds_run as f64 / self.records.len() as f64)
     }
 
-    /// Worker-minutes per committed change.
-    pub fn worker_mins_per_commit(&self) -> f64 {
+    /// Worker-minutes per committed change. `None` when nothing committed.
+    pub fn worker_mins_per_commit(&self) -> Option<f64> {
         if self.commits.is_empty() {
-            return 0.0;
+            return None;
         }
-        self.worker_time.as_mins_f64() / self.commits.len() as f64
+        Some(self.worker_time.as_mins_f64() / self.commits.len() as f64)
     }
 }
 
@@ -341,16 +344,14 @@ mod tests {
     #[test]
     fn batching_reduces_builds_per_change() {
         let w = workload(300.0, 200, 3);
-        let singles = run(&w, 1, 50);
-        let batched = run(&w, 8, 50);
+        let singles = run(&w, 1, 50).builds_per_change().unwrap();
+        let batched = run(&w, 8, 50).builds_per_change().unwrap();
         assert!(
-            batched.builds_per_change() < singles.builds_per_change(),
-            "batching must save builds: {} vs {}",
-            batched.builds_per_change(),
-            singles.builds_per_change()
+            batched < singles,
+            "batching must save builds: {batched} vs {singles}"
         );
         // With batch = 1 every resolved change is exactly one build.
-        assert!((singles.builds_per_change() - 1.0).abs() < 1e-9);
+        assert!((singles - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -374,8 +375,21 @@ mod tests {
         let w = workload(100.0, 60, 5);
         let r = run(&w, 4, 20);
         assert!(r.worker_time > SimDuration::ZERO);
-        assert!(r.worker_mins_per_commit() > 0.0);
+        assert!(r.worker_mins_per_commit().unwrap() > 0.0);
         assert!(r.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_workload_reports_no_data_not_zeros() {
+        let w = workload(100.0, 1, 7);
+        let empty = Workload {
+            changes: Vec::new(),
+            ..w
+        };
+        let r = simulate_batching(&empty, &BatchingConfig::default());
+        assert_eq!(r.builds_per_change(), None);
+        assert_eq!(r.worker_mins_per_commit(), None);
+        assert_eq!(r.turnaround_p50_p95_p99(), None);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::speculation::BuildKey;
 use crate::strategy::{Strategy, StrategyKind};
 use sq_exec::fault::{fraction, mix64};
 use sq_exec::{RetryPolicy, WorkerPool};
+use sq_obs::{Observer, SpanId};
 use sq_sim::{run as run_des, EventQueue, Scheduler, SimDuration, SimTime};
 use sq_workload::{ChangeId, ChangeSpec, GroundTruth, Workload};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -260,6 +261,25 @@ pub fn run_simulation(
     strategy: &Strategy,
     config: &PlannerConfig,
 ) -> SimResult {
+    let mut obs = Observer::disabled();
+    run_simulation_observed(workload, strategy, config, &mut obs)
+}
+
+/// [`run_simulation`] with observability: planner decisions, speculation
+/// pressure, build spans, and recovery events are recorded into `obs`
+/// as the simulation runs.
+///
+/// Everything recorded is a pure function of `(workload, strategy,
+/// config)` — timestamps are simulated, names are sorted at export — so
+/// two same-seed runs produce byte-identical `obs.to_json()` output.
+/// Passing [`Observer::disabled`] makes every hook a no-op;
+/// [`run_simulation`] is exactly that.
+pub fn run_simulation_observed(
+    workload: &Workload,
+    strategy: &Strategy,
+    config: &PlannerConfig,
+    obs: &mut Observer,
+) -> SimResult {
     let analyzer = if config.conflict_analyzer {
         StatisticalAnalyzer::new()
     } else {
@@ -296,6 +316,7 @@ pub fn run_simulation(
                 .map(|f| f.quarantine_threshold.max(1))
                 .unwrap_or(u32::MAX),
         ),
+        obs,
     };
     let mut queue: EventQueue<Event> = EventQueue::new();
     for (i, c) in workload.changes.iter().enumerate() {
@@ -304,6 +325,20 @@ pub fn run_simulation(
     let outcome = run_des(&mut sim, &mut queue, config.max_events);
     debug_assert!(outcome.drained, "simulation hit the event safety valve");
     let utilization = sim.pool.utilization(sim.makespan);
+    if sim.obs.is_enabled() {
+        let per_worker = sim.pool.per_worker_utilization(sim.makespan);
+        let metrics = &mut sim.obs.metrics;
+        metrics.set_gauge("planner.utilization", utilization);
+        metrics.set_gauge("planner.makespan_mins", sim.makespan.as_secs_f64() / 60.0);
+        let needed = metrics.counter("planner.builds_needed");
+        metrics.set_gauge(
+            "planner.builds_wasted",
+            sim.builds_started.saturating_sub(needed) as f64,
+        );
+        for u in per_worker {
+            metrics.observe("planner.worker_utilization", u);
+        }
+    }
     SimResult {
         strategy: strategy.kind(),
         records: sim.records,
@@ -333,6 +368,10 @@ struct RunningBuild {
     seq: u64,
     start: SimTime,
     finish: SimTime,
+    /// Worker-pool slot the build occupies (per-worker accounting).
+    worker: usize,
+    /// Trace span opened at schedule time, closed at finish/abort.
+    span: SpanId,
 }
 
 struct PendingChange {
@@ -369,6 +408,7 @@ struct Planner<'a> {
     infra_retries: u64,
     infra_backoff: SimDuration,
     quarantine: QuarantineList<ChangeId>,
+    obs: &'a mut Observer,
 }
 
 impl<'a> Planner<'a> {
@@ -420,6 +460,9 @@ impl<'a> Planner<'a> {
                 let Some(&ok) = self.build_results.get(&key) else {
                     continue;
                 };
+                // The realized build's result is consumed: this build
+                // was *needed* (vs merely selected or wasted).
+                self.obs.metrics.inc("planner.builds_needed");
                 self.resolve(id, ok, now);
                 resolved_any = true;
             }
@@ -450,6 +493,23 @@ impl<'a> Planner<'a> {
             .remove(&id)
             .expect("resolving a pending change");
         let spec = self.spec(id);
+        let turnaround_mins = now.since(spec.submit_time).as_mins_f64();
+        self.obs.metrics.inc(if ok {
+            "planner.commits"
+        } else {
+            "planner.rejects"
+        });
+        self.obs
+            .metrics
+            .observe("planner.turnaround_mins", turnaround_mins);
+        self.obs.tracer.event(
+            if ok { "commit" } else { "reject" },
+            now,
+            &[
+                ("change", id.0 as f64),
+                ("turnaround_mins", turnaround_mins),
+            ],
+        );
         self.records.push(ChangeRecord::new(
             id,
             spec.submit_time,
@@ -491,8 +551,11 @@ impl<'a> Planner<'a> {
     fn abort_build(&mut self, key: &BuildKey, now: SimTime) {
         let rb = self.running.remove(key).expect("aborting a running build");
         self.aborted_seqs.insert(rb.seq);
-        self.pool.release(now);
+        self.pool.release_worker(rb.worker, now);
         self.builds_aborted += 1;
+        self.obs.metrics.inc("planner.builds_aborted");
+        self.obs.tracer.span_field(rb.span, "aborted", 1.0);
+        self.obs.tracer.end_span(rb.span, now);
         if let Some(p) = self.pending.get_mut(&key.subject) {
             p.builds_aborted += 1;
         }
@@ -557,6 +620,20 @@ impl<'a> Planner<'a> {
             &fixed,
             self.config.workers,
         );
+        if self.obs.is_enabled() {
+            // Speculation pressure per planning round: how deep the queue
+            // is, how wide the strategy's speculation tree grew, and how
+            // much success probability mass (`P_needed`) the picks carry.
+            let metrics = &mut self.obs.metrics;
+            metrics.observe("planner.queue_depth", self.pending.len() as f64);
+            metrics.observe("planner.running_builds", self.running.len() as f64);
+            metrics.observe("planner.gating_builds", must_run.len() as f64);
+            metrics.observe("planner.speculation_tree_size", picks.len() as f64);
+            metrics.observe(
+                "planner.p_needed_mass",
+                picks.iter().map(|pb| pb.value).sum(),
+            );
+        }
         for pb in picks {
             if desired.len() >= self.config.workers {
                 break;
@@ -578,50 +655,72 @@ impl<'a> Planner<'a> {
             if self.running.contains_key(&key) {
                 continue;
             }
-            if !self.pool.acquire(now) {
-                if !must_run.contains(&key) {
-                    break;
-                }
-                let guard = self.config.preemption_guard;
-                let victim = self
-                    .running
-                    .iter()
-                    .filter(|(k, rb)| {
-                        if must_run.contains(*k) {
-                            return false;
-                        }
-                        match guard {
-                            Some(g) => {
-                                // Progress fraction of the candidate victim.
-                                let total = rb.finish.since(rb.start).as_secs_f64();
-                                let done = now.since(rb.start).as_secs_f64();
-                                total <= 0.0 || done / total < g
+            let worker = match self.pool.acquire_worker(now) {
+                Some(w) => w,
+                None => {
+                    if !must_run.contains(&key) {
+                        break;
+                    }
+                    let guard = self.config.preemption_guard;
+                    let victim = self
+                        .running
+                        .iter()
+                        .filter(|(k, rb)| {
+                            if must_run.contains(*k) {
+                                return false;
                             }
-                            None => true,
-                        }
-                    })
-                    .max_by(|(a, _), (b, _)| {
-                        let a_out = !desired_set.contains(*a);
-                        let b_out = !desired_set.contains(*b);
-                        a_out.cmp(&b_out).then_with(|| a.cmp(b))
-                    })
-                    .map(|(k, _)| k.clone());
-                let Some(victim) = victim else { break };
-                self.abort_build(&victim, now);
-                let acquired = self.pool.acquire(now);
-                debug_assert!(acquired, "preemption frees exactly one worker");
-            }
+                            match guard {
+                                Some(g) => {
+                                    // Progress fraction of the candidate victim.
+                                    let total = rb.finish.since(rb.start).as_secs_f64();
+                                    let done = now.since(rb.start).as_secs_f64();
+                                    total <= 0.0 || done / total < g
+                                }
+                                None => true,
+                            }
+                        })
+                        .max_by(|(a, _), (b, _)| {
+                            let a_out = !desired_set.contains(*a);
+                            let b_out = !desired_set.contains(*b);
+                            a_out.cmp(&b_out).then_with(|| a.cmp(b))
+                        })
+                        .map(|(k, _)| k.clone());
+                    let Some(victim) = victim else { break };
+                    self.abort_build(&victim, now);
+                    self.obs.metrics.inc("planner.preemptions");
+                    let acquired = self.pool.acquire_worker(now);
+                    debug_assert!(acquired.is_some(), "preemption frees exactly one worker");
+                    match acquired {
+                        Some(w) => w,
+                        None => break,
+                    }
+                }
+            };
             let seq = self.next_seq;
             self.next_seq += 1;
             let duration = self.spec(key.subject).build_duration + self.config.build_overhead;
             sched.at(now + duration, Event::BuildDone(seq));
             self.seq_to_key.insert(seq, key.clone());
+            let span = self.obs.tracer.start_span("build", now);
+            self.obs
+                .tracer
+                .span_field(span, "subject", key.subject.0 as f64);
+            self.obs
+                .tracer
+                .span_field(span, "assumed", key.assumed.len() as f64);
+            self.obs.tracer.span_field(span, "worker", worker as f64);
+            self.obs.metrics.inc("planner.builds_started");
+            if must_run.contains(&key) {
+                self.obs.metrics.inc("planner.gating_builds_started");
+            }
             self.running.insert(
                 key.clone(),
                 RunningBuild {
                     seq,
                     start: now,
                     finish: now + duration,
+                    worker,
+                    span,
                 },
             );
             self.builds_started += 1;
@@ -638,6 +737,7 @@ impl<'a> sq_sim::Simulation for Planner<'a> {
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<'_, Event>) {
         match event {
             Event::Arrival(i) => {
+                self.obs.metrics.inc("planner.arrivals");
                 let spec = &self.workload.changes[i];
                 let pending_specs = self.pending_specs();
                 self.graph.admit(spec, &pending_specs, &mut self.analyzer);
@@ -675,7 +775,14 @@ impl<'a> sq_sim::Simulation for Planner<'a> {
                     let attempt = *attempts;
                     if faults.infra_red(&key, attempt) {
                         self.infra_retries += 1;
-                        self.quarantine.record_flake(key.subject);
+                        if self.quarantine.record_flake(key.subject).is_some() {
+                            self.obs.metrics.inc("planner.quarantined");
+                            self.obs.tracer.event(
+                                "quarantine",
+                                now,
+                                &[("change", key.subject.0 as f64)],
+                            );
+                        }
                         let backoff = faults.retry.backoff(attempt);
                         let duration = backoff
                             + self.spec(key.subject).build_duration
@@ -684,12 +791,28 @@ impl<'a> sq_sim::Simulation for Planner<'a> {
                         self.next_seq += 1;
                         sched.at(now + duration, Event::BuildDone(new_seq));
                         self.seq_to_key.insert(new_seq, key.clone());
+                        let prev = *self.running.get(&key).expect("retried build was running");
+                        self.obs.metrics.inc("planner.infra_retries");
+                        self.obs
+                            .metrics
+                            .observe("planner.infra_backoff_secs", backoff.as_secs_f64());
+                        self.obs.tracer.event(
+                            "infra_retry",
+                            now,
+                            &[
+                                ("change", key.subject.0 as f64),
+                                ("attempt", f64::from(attempt)),
+                                ("backoff_secs", backoff.as_secs_f64()),
+                            ],
+                        );
                         self.running.insert(
                             key.clone(),
                             RunningBuild {
                                 seq: new_seq,
                                 start: now,
                                 finish: now + duration,
+                                worker: prev.worker,
+                                span: prev.span,
                             },
                         );
                         self.infra_backoff += backoff;
@@ -700,12 +823,23 @@ impl<'a> sq_sim::Simulation for Planner<'a> {
                         return;
                     }
                 }
-                self.running.remove(&key);
-                self.pool.release(now);
+                let rb = self
+                    .running
+                    .remove(&key)
+                    .expect("finished build was running");
+                self.pool.release_worker(rb.worker, now);
+                self.obs
+                    .metrics
+                    .observe("planner.build_mins", now.since(rb.start).as_mins_f64());
                 let subject = self.spec(key.subject);
                 let assumed: Vec<&ChangeSpec> = key.assumed.iter().map(|&a| self.spec(a)).collect();
                 let ok = self.truth.build_succeeds(subject, assumed.iter().copied());
                 self.build_results.insert(key.clone(), ok);
+                self.obs.metrics.inc("planner.builds_finished");
+                self.obs
+                    .tracer
+                    .span_field(rb.span, "ok", if ok { 1.0 } else { 0.0 });
+                self.obs.tracer.end_span(rb.span, now);
                 // Dynamic speculation counters (Section 7.2): a finished
                 // speculation is evidence for its subject and, on
                 // success, for every change it stacked on.
@@ -728,6 +862,7 @@ impl<'a> sq_sim::Simulation for Planner<'a> {
             }
             Event::Epoch => {
                 self.epoch_scheduled = false;
+                self.obs.metrics.inc("planner.epochs");
                 self.replan_now(now, sched);
                 // Keep ticking while there is anything left to plan for.
                 if !self.pending.is_empty() || !self.running.is_empty() {
@@ -1248,6 +1383,65 @@ mod tests {
         crate::audit::audit_rejections_justified(&w, &r).unwrap();
         let report = crate::audit::recovery_report(&r);
         assert!(report.contains("quarantined"), "report = {report}");
+    }
+
+    #[test]
+    fn observed_runs_are_unperturbed_and_export_identical_json() {
+        let w = workload(200.0, 100, 33);
+        let history = workload(100.0, 3000, 92);
+        let strategy = Strategy::build(StrategyKind::SubmitQueue, &w, Some(&history));
+        let cfg = PlannerConfig {
+            workers: 100,
+            faults: Some(SimFaults::at_rate(0.1, 5)),
+            ..PlannerConfig::default()
+        };
+        let mut o1 = Observer::new();
+        let r1 = run_simulation_observed(&w, &strategy, &cfg, &mut o1);
+        let mut o2 = Observer::new();
+        let r2 = run_simulation_observed(&w, &strategy, &cfg, &mut o2);
+        // Same seed ⇒ byte-identical exports (the layer's acceptance
+        // criterion) and identical results.
+        assert_eq!(o1.to_json(), o2.to_json());
+        assert_eq!(r1.commit_log, r2.commit_log);
+        // Observability must not perturb the simulation itself.
+        let r0 = run_simulation(&w, &strategy, &cfg);
+        assert_eq!(r0.commit_log, r1.commit_log);
+        assert_eq!(r0.makespan, r1.makespan);
+        assert_eq!(r0.builds_started, r1.builds_started);
+        // Counters agree with the result's own accounting.
+        let m = &o1.metrics;
+        assert_eq!(m.counter("planner.commits") as usize, r1.committed());
+        assert_eq!(m.counter("planner.rejects") as usize, r1.rejected());
+        assert_eq!(m.counter("planner.builds_aborted"), r1.builds_aborted);
+        assert_eq!(m.counter("planner.infra_retries"), r1.infra_retries);
+        // A retry re-uses its span, so scheduled spans + retries =
+        // total started builds.
+        assert_eq!(
+            m.counter("planner.builds_started") + m.counter("planner.infra_retries"),
+            r1.builds_started
+        );
+        assert_eq!(
+            o1.tracer.spans().len() as u64,
+            m.counter("planner.builds_started")
+        );
+        // The run drains fully: every build span is closed.
+        assert!(o1.tracer.spans().iter().all(|s| s.end.is_some()));
+        assert!(m.counter("planner.builds_needed") > 0);
+        assert!(m.histogram("planner.queue_depth").is_some());
+        assert!(m.histogram("planner.p_needed_mass").is_some());
+        assert!(m.gauge("planner.utilization").is_some());
+    }
+
+    #[test]
+    fn disabled_observer_records_nothing() {
+        let w = workload(100.0, 30, 34);
+        let strategy = Strategy::build(StrategyKind::Oracle, &w, None);
+        let mut obs = Observer::disabled();
+        let r = run_simulation_observed(&w, &strategy, &config(30), &mut obs);
+        assert_eq!(r.records.len(), 30);
+        assert_eq!(obs.metrics.counter("planner.builds_started"), 0);
+        assert!(obs.tracer.spans().is_empty());
+        assert!(obs.tracer.events().is_empty());
     }
 
     #[test]

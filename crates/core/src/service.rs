@@ -176,7 +176,7 @@ impl SubmitQueueService {
                 log: RecoveryLog::new(),
                 infra_rejected: 0,
             }),
-            controller: BuildController::with_retry_policy(threads, recovery.retry.clone()),
+            controller: BuildController::with_retry_policy(threads, recovery.retry),
             executor: RealExecutor::new(threads),
             recovery,
         }
@@ -488,15 +488,17 @@ impl SubmitQueueService {
     /// Returns the number of commit points verified, or the exact
     /// commit (id, mainline position, failing step) that broke the
     /// audit.
-    pub fn verify_history(&self, action: &StepAction) -> Result<usize, HistoryViolation> {
+    pub fn verify_history(&self, action: &StepAction) -> Result<usize, Box<HistoryViolation>> {
         let inner = self.inner.lock();
         let head = inner.repo.head();
-        let infra_err = |index: usize, commit: CommitId, reason: String| HistoryViolation {
-            commit_index: index,
-            commit,
-            step: None,
-            reason,
-            infra: true,
+        let infra_err = |index: usize, commit: CommitId, reason: String| {
+            Box::new(HistoryViolation {
+                commit_index: index,
+                commit,
+                step: None,
+                reason,
+                infra: true,
+            })
         };
         let log = inner
             .repo
@@ -521,22 +523,22 @@ impl SubmitQueueService {
                 |step| action(step, &tree),
             );
             if let Some((step, reason)) = report.failure {
-                return Err(HistoryViolation {
+                return Err(Box::new(HistoryViolation {
                     commit_index: index,
                     commit: *id,
                     step: Some(step),
                     reason: format!("failed: {reason}"),
                     infra: false,
-                });
+                }));
             }
             if let Some((step, fault)) = report.infra_failure {
-                return Err(HistoryViolation {
+                return Err(Box::new(HistoryViolation {
                     commit_index: index,
                     commit: *id,
                     step: Some(step),
                     reason: format!("infra fault survived retries: {fault}"),
                     infra: true,
-                });
+                }));
             }
             verified += 1;
         }

@@ -22,8 +22,11 @@ use std::collections::{BinaryHeap, HashMap};
 pub struct DurationModel {
     /// EWMA per concrete step.
     per_step: HashMap<(TargetName, StepKind), f64>,
-    /// EWMA per step kind (fallback for never-seen steps).
-    per_kind: HashMap<StepKind, f64>,
+    /// Fallback for never-seen steps: per-kind (observation count, EWMA).
+    /// The count drives a warm-up (effective alpha = max(alpha, 1/n)) so
+    /// the kind average is not seeded wholesale from whichever target
+    /// happens to report first.
+    per_kind: HashMap<StepKind, (u64, f64)>,
     /// Smoothing factor in (0, 1]; weight of the newest observation.
     alpha: f64,
     /// Default estimate when nothing has been observed at all.
@@ -52,12 +55,12 @@ impl DurationModel {
                 e.insert(secs);
             }
         }
-        match self.per_kind.entry(kind) {
-            std::collections::hash_map::Entry::Occupied(mut e) => update(e.get_mut(), self.alpha),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(secs);
-            }
-        }
+        let (n, value) = self.per_kind.entry(kind).or_insert((0, 0.0));
+        *n += 1;
+        // Running mean while 1/n dominates, EWMA once enough history
+        // has accumulated — early observations share weight instead of
+        // the first one seeding the average outright.
+        update(value, self.alpha.max(1.0 / *n as f64));
     }
 
     /// Estimated duration for a step: exact history, else per-kind
@@ -66,7 +69,7 @@ impl DurationModel {
         if let Some(&secs) = self.per_step.get(&(target.clone(), kind)) {
             return SimDuration::from_secs_f64(secs);
         }
-        if let Some(&secs) = self.per_kind.get(&kind) {
+        if let Some(&(_, secs)) = self.per_kind.get(&kind) {
             return SimDuration::from_secs_f64(secs);
         }
         self.default
@@ -151,6 +154,51 @@ mod tests {
         // Known step → exact history.
         m.observe(&t("//a:a"), StepKind::Compile, mins(2));
         assert_eq!(m.estimate(&t("//a:a"), StepKind::Compile), mins(2));
+    }
+
+    #[test]
+    fn kind_fallback_is_not_dominated_by_first_reporter() {
+        // Two targets with very different durations: the per-kind
+        // fallback must land near their mean regardless of which
+        // finished first, not near the first reporter.
+        let observe_in_order = |first: (&str, u64), second: (&str, u64)| {
+            let mut m = DurationModel::new(0.3, mins(1));
+            m.observe(
+                &t(first.0),
+                StepKind::Compile,
+                SimDuration::from_secs(first.1),
+            );
+            m.observe(
+                &t(second.0),
+                StepKind::Compile,
+                SimDuration::from_secs(second.1),
+            );
+            m.estimate(&t("//unseen:x"), StepKind::Compile)
+                .as_secs_f64()
+        };
+        let slow_first = observe_in_order(("//a:slow", 100), ("//b:fast", 10));
+        let fast_first = observe_in_order(("//b:fast", 10), ("//a:slow", 100));
+        // With two observations the warm-up weight is 1/2: both orders
+        // give the arithmetic mean, 55 seconds.
+        assert!((slow_first - 55.0).abs() < 1e-9, "slow first: {slow_first}");
+        assert!((fast_first - 55.0).abs() < 1e-9, "fast first: {fast_first}");
+    }
+
+    #[test]
+    fn kind_fallback_warmup_hands_over_to_ewma() {
+        // After many observations the effective alpha is the configured
+        // one, so the fallback still tracks recent history.
+        let mut m = DurationModel::new(0.5, mins(1));
+        for i in 0..20 {
+            m.observe(&t(&format!("//p:t{i}")), StepKind::Compile, mins(10));
+        }
+        for i in 20..40 {
+            m.observe(&t(&format!("//p:t{i}")), StepKind::Compile, mins(2));
+        }
+        let est = m
+            .estimate(&t("//unseen:x"), StepKind::Compile)
+            .as_mins_f64();
+        assert!((est - 2.0).abs() < 0.01, "est = {est}");
     }
 
     #[test]

@@ -44,6 +44,15 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Record these statistics into a metrics registry under the
+    /// `cache.` namespace (counters plus a hit-rate gauge).
+    pub fn record_into(&self, metrics: &mut sq_obs::MetricsRegistry) {
+        metrics.add("cache.hits", self.hits);
+        metrics.add("cache.misses", self.misses);
+        metrics.set_gauge("cache.entries", self.entries as f64);
+        metrics.set_gauge("cache.hit_rate", self.hit_rate());
+    }
 }
 
 /// A content-keyed artifact cache.

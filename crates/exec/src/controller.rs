@@ -38,6 +38,22 @@ impl ControllerReport {
     pub fn is_success(&self) -> bool {
         self.exec.is_success()
     }
+
+    /// Record planning counters, the execution report, and per-thread
+    /// wall-clock utilization into `metrics`.
+    pub fn record_into(&self, metrics: &mut sq_obs::MetricsRegistry) {
+        metrics.add("controller.planned_steps", self.planned_steps as u64);
+        metrics.add("controller.cached_steps", self.cached_steps as u64);
+        metrics.observe(
+            "controller.estimated_makespan_secs",
+            self.estimated_makespan.as_secs_f64(),
+        );
+        metrics.observe("controller.wall_ms", self.wall.as_secs_f64() * 1e3);
+        self.exec.record_into(metrics);
+        for u in self.exec.worker_utilization(self.wall) {
+            metrics.observe("exec.worker_utilization", u);
+        }
+    }
 }
 
 /// The build controller: owns the artifact cache and duration history

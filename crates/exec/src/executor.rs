@@ -21,12 +21,14 @@
 
 use crate::cache::ArtifactCache;
 use crate::fault::{InfraFault, RetryPolicy};
-use crate::step::{steps_for, BuildStep};
+use crate::step::{steps_for, BuildStep, StepKind};
 use parking_lot::Mutex;
 use sq_build::{BuildGraph, TargetHashes, TargetName};
+use sq_obs::MetricsRegistry;
 use sq_sim::SimDuration;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Result of one step action.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +69,14 @@ pub struct ExecReport {
     pub infra_retries: u64,
     /// Total deterministic backoff charged as build time by retries.
     pub charged_backoff: SimDuration,
+    /// Wall-clock latency of every step attempt, in completion order.
+    /// Wall-clock data is real-time (not simulated), so it varies run to
+    /// run — export it through histograms, never into deterministic
+    /// fixtures.
+    pub step_wall: Vec<(StepKind, Duration)>,
+    /// Wall-clock time each executor thread spent inside step actions
+    /// (index = thread index; length = thread count).
+    pub worker_busy: Vec<Duration>,
 }
 
 impl ExecReport {
@@ -80,6 +90,48 @@ impl ExecReport {
     /// nothing about the change — callers should rebuild, not reject.
     pub fn is_infra_red(&self) -> bool {
         self.failure.is_none() && self.infra_failure.is_some()
+    }
+
+    /// Wall-clock utilization of each executor thread over `wall` (the
+    /// run's total wall time): busy-in-action / wall, clamped to [0, 1].
+    pub fn worker_utilization(&self, wall: Duration) -> Vec<f64> {
+        let total = wall.as_secs_f64();
+        self.worker_busy
+            .iter()
+            .map(|b| {
+                if total <= 0.0 {
+                    0.0
+                } else {
+                    (b.as_secs_f64() / total).min(1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Record this report into a metrics registry under the `exec.`
+    /// namespace: step/cache/retry counters, per-kind step-latency
+    /// histograms (milliseconds), and a per-thread busy-time histogram.
+    pub fn record_into(&self, metrics: &mut MetricsRegistry) {
+        metrics.add("exec.steps_executed", self.executed.len() as u64);
+        metrics.add("exec.cache_hits", self.cache_hits as u64);
+        metrics.add("exec.infra_events", self.infra_events.len() as u64);
+        metrics.add("exec.infra_retries", self.infra_retries);
+        if self.failure.is_some() {
+            metrics.inc("exec.failures");
+        }
+        if self.infra_failure.is_some() {
+            metrics.inc("exec.infra_red");
+        }
+        metrics.observe(
+            "exec.charged_backoff_secs",
+            self.charged_backoff.as_secs_f64(),
+        );
+        for (kind, dt) in &self.step_wall {
+            metrics.observe(&format!("exec.step_wall_ms.{kind}"), dt.as_secs_f64() * 1e3);
+        }
+        for busy in &self.worker_busy {
+            metrics.observe("exec.worker_busy_ms", busy.as_secs_f64() * 1e3);
+        }
     }
 }
 
@@ -168,132 +220,152 @@ impl RealExecutor {
                 .map(|(&t, &n)| (t.clone(), n))
                 .collect(),
             in_flight: 0,
-            report: ExecReport::default(),
+            report: ExecReport {
+                worker_busy: vec![Duration::ZERO; self.threads],
+                ..ExecReport::default()
+            },
         });
         let aborted = AtomicBool::new(false);
 
+        // Shadow with references so the indexed `move` closures below
+        // capture cheap copies instead of taking ownership.
+        let state = &state;
+        let aborted = &aborted;
+        let dependents = &dependents;
+        let action = &action;
+
         crossbeam::scope(|scope| {
-            for _ in 0..self.threads {
-                scope.spawn(|_| loop {
-                    // Claim a ready target or detect completion.
-                    let claimed = {
-                        let mut st = state.lock();
-                        if let Some(t) = st.ready.pop() {
-                            st.in_flight += 1;
-                            Some(t)
-                        } else if st.in_flight == 0 || aborted.load(Ordering::SeqCst) {
-                            None
-                        } else {
-                            // Work may appear when in-flight targets
-                            // finish; spin politely.
-                            drop(st);
-                            std::thread::yield_now();
-                            continue;
-                        }
-                    };
-                    let Some(target_name) = claimed else { break };
-
-                    if aborted.load(Ordering::SeqCst) {
-                        let mut st = state.lock();
-                        st.in_flight -= 1;
-                        continue;
-                    }
-
-                    // Run the pipeline for this target.
-                    let target = graph.get(&target_name).expect("target in graph");
-                    let hash = hashes.get(&target_name);
-                    let mut target_failed = false;
-                    for &kind in steps_for(target.kind) {
-                        let step = BuildStep::new(target_name.clone(), kind);
-                        // Cache check.
-                        if let Some(h) = hash {
-                            if cache.lock().lookup(h, kind).is_some() {
-                                state.lock().report.cache_hits += 1;
+            for widx in 0..self.threads {
+                scope.spawn(move |_| {
+                    let mut busy = Duration::ZERO;
+                    loop {
+                        // Claim a ready target or detect completion.
+                        let claimed = {
+                            let mut st = state.lock();
+                            if let Some(t) = st.ready.pop() {
+                                st.in_flight += 1;
+                                Some(t)
+                            } else if st.in_flight == 0 || aborted.load(Ordering::SeqCst) {
+                                None
+                            } else {
+                                // Work may appear when in-flight targets
+                                // finish; spin politely.
+                                drop(st);
+                                std::thread::yield_now();
                                 continue;
                             }
-                        }
-                        // Attempt loop: infra failures retry under the
-                        // policy; genuine outcomes resolve immediately.
-                        let mut attempt = 1u32;
-                        let outcome = loop {
-                            match action(&step) {
-                                StepOutcome::InfraFailure(fault) => {
-                                    state
-                                        .lock()
-                                        .report
-                                        .infra_events
-                                        .push((step.clone(), fault.clone()));
-                                    if policy.should_retry(attempt) {
-                                        let backoff = policy.backoff(attempt);
-                                        let mut st = state.lock();
-                                        st.report.infra_retries += 1;
-                                        st.report.charged_backoff += backoff;
-                                        drop(st);
-                                        attempt += 1;
-                                        continue;
-                                    }
-                                    break StepOutcome::InfraFailure(fault);
-                                }
-                                other => break other,
-                            }
                         };
-                        match outcome {
-                            StepOutcome::Success => {
-                                if let Some(h) = hash {
-                                    let inserted =
-                                        cache.lock().insert_if_success(h, kind, &outcome);
-                                    debug_assert!(inserted.is_some());
-                                }
-                                state.lock().report.executed.push(step);
-                            }
-                            StepOutcome::Failure(reason) => {
-                                let mut st = state.lock();
-                                if st.report.failure.is_none() {
-                                    st.report.failure = Some((step, reason));
-                                }
-                                drop(st);
-                                aborted.store(true, Ordering::SeqCst);
-                                target_failed = true;
-                                break;
-                            }
-                            StepOutcome::InfraFailure(fault) => {
-                                // Retry budget exhausted: the build is
-                                // infra-red. Fail fast like a genuine
-                                // failure, but keep the colors apart so
-                                // the caller can rebuild instead of
-                                // rejecting the change.
-                                let mut st = state.lock();
-                                if st.report.infra_failure.is_none() {
-                                    st.report.infra_failure = Some((step, fault));
-                                }
-                                drop(st);
-                                aborted.store(true, Ordering::SeqCst);
-                                target_failed = true;
-                                break;
-                            }
-                        }
-                    }
+                        let Some(target_name) = claimed else { break };
 
-                    // Mark completion; release dependents.
-                    let mut st = state.lock();
-                    st.in_flight -= 1;
-                    if !target_failed && !aborted.load(Ordering::SeqCst) {
-                        if let Some(deps) = dependents.get(&target_name) {
-                            for &d in deps {
-                                let n = st.remaining.get_mut(d).expect("dependent tracked");
-                                *n -= 1;
-                                if *n == 0 {
-                                    st.ready.push(d.clone());
+                        if aborted.load(Ordering::SeqCst) {
+                            let mut st = state.lock();
+                            st.in_flight -= 1;
+                            continue;
+                        }
+
+                        // Run the pipeline for this target.
+                        let target = graph.get(&target_name).expect("target in graph");
+                        let hash = hashes.get(&target_name);
+                        let mut target_failed = false;
+                        for &kind in steps_for(target.kind) {
+                            let step = BuildStep::new(target_name.clone(), kind);
+                            // Cache check.
+                            if let Some(h) = hash {
+                                if cache.lock().lookup(h, kind).is_some() {
+                                    state.lock().report.cache_hits += 1;
+                                    continue;
+                                }
+                            }
+                            // Attempt loop: infra failures retry under the
+                            // policy; genuine outcomes resolve immediately.
+                            let mut attempt = 1u32;
+                            let outcome = loop {
+                                let t0 = Instant::now();
+                                let out = action(&step);
+                                let dt = t0.elapsed();
+                                busy += dt;
+                                state.lock().report.step_wall.push((kind, dt));
+                                match out {
+                                    StepOutcome::InfraFailure(fault) => {
+                                        state
+                                            .lock()
+                                            .report
+                                            .infra_events
+                                            .push((step.clone(), fault.clone()));
+                                        if policy.should_retry(attempt) {
+                                            let backoff = policy.backoff(attempt);
+                                            let mut st = state.lock();
+                                            st.report.infra_retries += 1;
+                                            st.report.charged_backoff += backoff;
+                                            drop(st);
+                                            attempt += 1;
+                                            continue;
+                                        }
+                                        break StepOutcome::InfraFailure(fault);
+                                    }
+                                    other => break other,
+                                }
+                            };
+                            match outcome {
+                                StepOutcome::Success => {
+                                    if let Some(h) = hash {
+                                        let inserted =
+                                            cache.lock().insert_if_success(h, kind, &outcome);
+                                        debug_assert!(inserted.is_some());
+                                    }
+                                    state.lock().report.executed.push(step);
+                                }
+                                StepOutcome::Failure(reason) => {
+                                    let mut st = state.lock();
+                                    if st.report.failure.is_none() {
+                                        st.report.failure = Some((step, reason));
+                                    }
+                                    drop(st);
+                                    aborted.store(true, Ordering::SeqCst);
+                                    target_failed = true;
+                                    break;
+                                }
+                                StepOutcome::InfraFailure(fault) => {
+                                    // Retry budget exhausted: the build is
+                                    // infra-red. Fail fast like a genuine
+                                    // failure, but keep the colors apart so
+                                    // the caller can rebuild instead of
+                                    // rejecting the change.
+                                    let mut st = state.lock();
+                                    if st.report.infra_failure.is_none() {
+                                        st.report.infra_failure = Some((step, fault));
+                                    }
+                                    drop(st);
+                                    aborted.store(true, Ordering::SeqCst);
+                                    target_failed = true;
+                                    break;
+                                }
+                            }
+                        }
+
+                        // Mark completion; release dependents.
+                        let mut st = state.lock();
+                        st.in_flight -= 1;
+                        if !target_failed && !aborted.load(Ordering::SeqCst) {
+                            if let Some(deps) = dependents.get(&target_name) {
+                                for &d in deps {
+                                    let n = st.remaining.get_mut(d).expect("dependent tracked");
+                                    *n -= 1;
+                                    if *n == 0 {
+                                        st.ready.push(d.clone());
+                                    }
                                 }
                             }
                         }
                     }
+                    state.lock().report.worker_busy[widx] += busy;
                 });
             }
         })
         .expect("executor threads must not panic");
 
-        state.into_inner().report
+        let mut final_state = state.lock();
+        std::mem::take(&mut final_state.report)
     }
 }
 
@@ -676,6 +748,41 @@ mod tests {
             .executed
             .iter()
             .all(|s| s.target != n("//p1:p1") && s.target != n("//p2:p2")));
+    }
+
+    #[test]
+    fn instrumentation_records_step_latency_and_worker_busy_time() {
+        let (graph, hashes, targets) = fixture();
+        let cache = Mutex::new(ArtifactCache::new());
+        let report = RealExecutor::new(2).execute(&graph, &targets, &hashes, &cache, |_| {
+            std::thread::sleep(Duration::from_millis(2));
+            StepOutcome::Success
+        });
+        assert!(report.is_success());
+        // One latency sample per step attempt, one busy slot per thread.
+        assert_eq!(report.step_wall.len(), 5);
+        assert_eq!(report.worker_busy.len(), 2);
+        let total_busy: Duration = report.worker_busy.iter().sum();
+        assert!(
+            total_busy >= Duration::from_millis(10),
+            "5 steps × 2ms must be attributed: {total_busy:?}"
+        );
+        let util = report.worker_utilization(Duration::from_secs(1));
+        assert_eq!(util.len(), 2);
+        assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+
+        let mut metrics = MetricsRegistry::new();
+        report.record_into(&mut metrics);
+        assert_eq!(metrics.counter("exec.steps_executed"), 5);
+        assert_eq!(metrics.counter("exec.cache_hits"), 0);
+        let h = metrics
+            .histogram("exec.step_wall_ms.compile")
+            .expect("compile latency histogram");
+        assert_eq!(h.count(), 4); // a, b, d compile + c compile
+        assert_eq!(
+            metrics.histogram("exec.worker_busy_ms").map(|h| h.count()),
+            Some(2)
+        );
     }
 
     #[test]

@@ -322,7 +322,7 @@ impl RetryPolicy {
     pub fn total_backoff(&self, attempts: u32) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for a in 1..=attempts {
-            total = total + self.backoff(a);
+            total += self.backoff(a);
         }
         total
     }

@@ -33,7 +33,7 @@ pub mod pool;
 pub mod step;
 
 pub use balance::{DurationModel, LoadBalancer};
-pub use cache::{ArtifactCache, ArtifactId};
+pub use cache::{ArtifactCache, ArtifactId, CacheStats};
 pub use controller::{BuildController, ControllerReport};
 pub use executor::{ExecReport, RealExecutor, StepOutcome};
 pub use fault::{FaultInjector, FaultPlan, InfraFault, InfraFaultKind, RetryPolicy};

@@ -1,0 +1,241 @@
+//! Sim-time tracing: structured spans and point events.
+//!
+//! Spans are intervals on the simulated timeline (a speculative build
+//! from schedule to completion/abort); events are points (a commit, an
+//! infra retry). Both carry numeric fields — simulation quantities are
+//! ids, counts and durations, so a uniform `f64` field keeps the API
+//! and export trivial. Timestamps come from [`sq_sim::SimTime`], never
+//! from the wall clock, so two same-seed runs produce byte-identical
+//! trace exports (the acceptance test of the observability layer).
+
+use crate::json::JsonWriter;
+use sq_sim::SimTime;
+
+/// Handle to a span started on a [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The id of a disabled tracer's spans; ending it is a no-op.
+    const NONE: SpanId = SpanId(u64::MAX);
+}
+
+/// An interval on the simulated timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span id (dense, in start order).
+    pub id: u64,
+    /// Span name (e.g. `"build"`).
+    pub name: String,
+    /// Start of the interval.
+    pub start: SimTime,
+    /// End of the interval; `None` while open.
+    pub end: Option<SimTime>,
+    /// Numeric fields attached at start or via [`Tracer::span_field`].
+    pub fields: Vec<(String, f64)>,
+}
+
+/// A point on the simulated timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (e.g. `"commit"`).
+    pub name: String,
+    /// When it happened.
+    pub at: SimTime,
+    /// Numeric fields.
+    pub fields: Vec<(String, f64)>,
+}
+
+/// Recorder of spans and events.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    spans: Vec<Span>,
+    events: Vec<TraceEvent>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// An enabled, empty tracer.
+    pub fn new() -> Self {
+        Tracer {
+            enabled: true,
+            spans: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// A tracer whose recording calls are all no-ops.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            ..Tracer::new()
+        }
+    }
+
+    /// True iff recording calls take effect.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a span at `start`.
+    pub fn start_span(&mut self, name: &str, start: SimTime) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        let id = self.spans.len() as u64;
+        self.spans.push(Span {
+            id,
+            name: name.to_string(),
+            start,
+            end: None,
+            fields: Vec::new(),
+        });
+        SpanId(id)
+    }
+
+    /// Attach a numeric field to an open (or closed) span.
+    pub fn span_field(&mut self, span: SpanId, key: &str, value: f64) {
+        if !self.enabled || span == SpanId::NONE {
+            return;
+        }
+        if let Some(s) = self.spans.get_mut(span.0 as usize) {
+            s.fields.push((key.to_string(), value));
+        }
+    }
+
+    /// Close a span at `end`. Closing twice keeps the first end time.
+    pub fn end_span(&mut self, span: SpanId, end: SimTime) {
+        if !self.enabled || span == SpanId::NONE {
+            return;
+        }
+        if let Some(s) = self.spans.get_mut(span.0 as usize) {
+            if s.end.is_none() {
+                s.end = Some(end);
+            }
+        }
+    }
+
+    /// Record a point event with numeric fields.
+    pub fn event(&mut self, name: &str, at: SimTime, fields: &[(&str, f64)]) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            at,
+            fields: fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
+    /// All recorded spans, in start order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All recorded events, in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Write the trace as a JSON object:
+    /// `{"spans": [...], "events": [...]}` with microsecond timestamps.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("spans");
+        w.begin_array();
+        for s in &self.spans {
+            w.begin_object();
+            w.field_u64("id", s.id);
+            w.field_str("name", &s.name);
+            w.field_u64("start_us", s.start.as_micros());
+            match s.end {
+                Some(e) => w.field_u64("end_us", e.as_micros()),
+                None => {
+                    w.key("end_us");
+                    w.value_null();
+                }
+            }
+            w.key("fields");
+            w.begin_object();
+            for (k, v) in &s.fields {
+                w.field_f64(k, *v);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.key("events");
+        w.begin_array();
+        for e in &self.events {
+            w.begin_object();
+            w.field_str("name", &e.name);
+            w.field_u64("at_us", e.at.as_micros());
+            w.key("fields");
+            w.begin_object();
+            for (k, v) in &e.fields {
+                w.field_f64(k, *v);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// The trace as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_open_close_and_export() {
+        let mut t = Tracer::new();
+        let a = t.start_span("build", SimTime::from_secs(1));
+        t.span_field(a, "subject", 7.0);
+        let b = t.start_span("build", SimTime::from_secs(2));
+        t.end_span(a, SimTime::from_secs(5));
+        t.end_span(a, SimTime::from_secs(9)); // ignored: already closed
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.spans()[0].end, Some(SimTime::from_secs(5)));
+        assert_eq!(t.spans()[1].end, None);
+        let _ = b;
+        let j = t.to_json();
+        assert!(j.contains("\"start_us\":1000000"));
+        assert!(j.contains("\"end_us\":null"));
+        assert!(j.contains("\"subject\":7"));
+    }
+
+    #[test]
+    fn events_record_in_order() {
+        let mut t = Tracer::new();
+        t.event("commit", SimTime::from_secs(3), &[("change", 1.0)]);
+        t.event("reject", SimTime::from_secs(4), &[("change", 2.0)]);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].name, "commit");
+        assert!(t.to_json().contains("\"at_us\":3000000"));
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut t = Tracer::disabled();
+        let s = t.start_span("x", SimTime::ZERO);
+        t.span_field(s, "k", 1.0);
+        t.end_span(s, SimTime::from_secs(1));
+        t.event("e", SimTime::ZERO, &[]);
+        assert!(t.spans().is_empty());
+        assert!(t.events().is_empty());
+    }
+}

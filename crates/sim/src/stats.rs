@@ -45,27 +45,29 @@ impl OnlineStats {
         self.n
     }
 
-    /// Sample mean (0 if empty).
-    pub fn mean(&self) -> f64 {
+    /// Sample mean. `None` if empty — a silent 0.0 is indistinguishable
+    /// from a genuine zero-mean sample.
+    pub fn mean(&self) -> Option<f64> {
         if self.n == 0 {
-            0.0
+            None
         } else {
-            self.mean
+            Some(self.mean)
         }
     }
 
-    /// Unbiased sample variance (0 with fewer than two observations).
-    pub fn variance(&self) -> f64 {
+    /// Unbiased sample variance. `None` with fewer than two observations
+    /// (the estimator is undefined there, not zero).
+    pub fn variance(&self) -> Option<f64> {
         if self.n < 2 {
-            0.0
+            None
         } else {
-            self.m2 / (self.n - 1) as f64
+            Some(self.m2 / (self.n - 1) as f64)
         }
     }
 
-    /// Sample standard deviation.
-    pub fn stddev(&self) -> f64 {
-        self.variance().sqrt()
+    /// Sample standard deviation. `None` with fewer than two observations.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
     }
 
     /// Smallest observation (`+inf` if empty).
@@ -175,12 +177,12 @@ impl Percentiles {
         ))
     }
 
-    /// Sample mean.
-    pub fn mean(&self) -> f64 {
+    /// Sample mean. `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
         if self.sorted.is_empty() {
-            0.0
+            None
         } else {
-            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
         }
     }
 
@@ -310,9 +312,10 @@ mod tests {
             s.push(x);
         }
         assert_eq!(s.count(), 8);
-        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
         // Population variance is 4.0; sample variance = 32/7.
-        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.stddev().unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
     }
@@ -320,9 +323,29 @@ mod tests {
     #[test]
     fn online_stats_empty() {
         let s = OnlineStats::new();
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.stddev(), None);
         assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn online_stats_single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(3.0);
+        assert_eq!(s.mean(), Some(3.0));
+        // Sample variance needs two observations.
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.stddev(), None);
+    }
+
+    #[test]
+    fn percentiles_mean_empty_vs_filled() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.mean(), None);
+        p.push(2.0);
+        p.push(4.0);
+        assert_eq!(p.mean(), Some(3.0));
     }
 
     #[test]
@@ -342,8 +365,8 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a.count(), whole.count());
-        assert!((a.mean() - whole.mean()).abs() < 1e-9);
-        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
     }
 
     #[test]

@@ -23,7 +23,14 @@ cargo test --workspace -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy -p sq-build --all-targets -- -D warnings"
-cargo clippy -p sq-build --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings (vendor stand-ins excluded)"
+cargo clippy --workspace --all-targets \
+  --exclude bytes --exclude criterion --exclude crossbeam --exclude parking_lot \
+  --exclude proptest --exclude rand --exclude serde --exclude serde_derive \
+  --exclude serde_json \
+  -- -D warnings
+
+echo "==> bench_e2e --smoke (machine-readable benchmark: emit + validate JSON)"
+cargo run --release -p sq-bench --bin bench_e2e -- --smoke
 
 echo "All checks passed."
