@@ -1,17 +1,29 @@
 //! Seeded end-to-end benchmark emitting a machine-readable JSON report.
 //!
 //! Default mode runs the recorded configuration and writes
-//! `BENCH_e2e.json` at the repository root; `--smoke` runs a small
-//! configuration under a tight time budget, writes the document under
-//! `target/figures/`, and exits nonzero unless it validates. Both
-//! modes validate the emitted JSON before writing it. The document is
-//! byte-identical across same-seed runs (see `sq_bench::e2e`).
+//! `results/BENCH_e2e.json` under the repository root; `--smoke` runs a
+//! small configuration under a tight time budget, writes the document
+//! under `target/figures/`, and exits nonzero unless it validates.
+//! `--out <path>` overrides the destination in either mode (this is how
+//! the committed trajectory file at the repo root is refreshed:
+//! `bench_e2e --out BENCH_e2e.json`). Both modes validate the emitted
+//! JSON before writing it. The document is byte-identical across
+//! same-seed runs (see `sq_bench::e2e`).
 
 use sq_bench::e2e::{run_e2e, validate, E2eParams};
 use std::path::PathBuf;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_override = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("[bench_e2e] FAIL: --out requires a path argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
     let params = if smoke {
         E2eParams::smoke()
     } else {
@@ -31,11 +43,21 @@ fn main() {
         eprintln!("[bench_e2e] FAIL: emitted document is invalid: {e}");
         std::process::exit(1);
     }
-    let path = if smoke {
-        sq_bench::figures_dir().join("BENCH_e2e_smoke.json")
-    } else {
-        repo_root().join("BENCH_e2e.json")
+    let path = match out_override {
+        Some(out) => {
+            let p = PathBuf::from(out);
+            if p.is_absolute() {
+                p
+            } else {
+                repo_root().join(p)
+            }
+        }
+        None if smoke => sq_bench::figures_dir().join("BENCH_e2e_smoke.json"),
+        None => repo_root().join("results").join("BENCH_e2e.json"),
     };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
     std::fs::write(&path, &json).expect("write benchmark JSON");
     println!(
         "[bench_e2e] ok: wrote {} ({} bytes)",

@@ -1,0 +1,179 @@
+//! Recovery benchmark: measures crash-recovery replay throughput of the
+//! durable SubmitQueue (`sq-store` journal + snapshots).
+//!
+//! Drives a real `DurableSubmitQueue` over an in-memory backend through
+//! a landing workload, then repeatedly reopens the store and times the
+//! snapshot + journal-suffix replay. Two phases isolate what snapshots
+//! buy: `journal_only` (snapshotting disabled — every record replays on
+//! open) and `snapshot_suffix` (periodic snapshots — only the tail
+//! replays). The report goes to `target/figures/BENCH_recovery.json`.
+//!
+//! `--smoke` runs a small configuration and additionally asserts that
+//! every reopen reconstructs byte-identical exported state, exiting
+//! nonzero on any mismatch.
+
+use sq_core::durable::DurableSubmitQueue;
+use sq_core::RecoveryConfig;
+use sq_exec::StepOutcome;
+use sq_obs::JsonWriter;
+use sq_store::{CrashPlan, DurableStoreConfig, MemStorage};
+use sq_vcs::{Patch, RepoPath, Repository};
+use std::sync::{Arc, Mutex};
+
+type Shared = Arc<Mutex<MemStorage>>;
+
+struct PhaseReport {
+    name: &'static str,
+    journal_records: u64,
+    journal_bytes: u64,
+    snapshot_bytes: u64,
+    opens: u64,
+    replay_micros_min: u64,
+    replay_micros_mean: f64,
+    records_per_sec: f64,
+}
+
+fn bench_repo() -> Repository {
+    Repository::init([
+        ("lib/BUILD", "library(name = \"lib\", srcs = [\"l.rs\"])"),
+        ("lib/l.rs", "pub fn l() {}"),
+        (
+            "app/BUILD",
+            "binary(name = \"app\", srcs = [\"m.rs\"], deps = [\"//lib:lib\"])",
+        ),
+        ("app/m.rs", "fn main() {}"),
+    ])
+    .unwrap()
+}
+
+/// Run `n_changes` landings against a fresh store with the given
+/// snapshot cadence, then time `opens` recoveries.
+fn run_phase(
+    name: &'static str,
+    n_changes: u32,
+    snapshot_every: u64,
+    opens: u64,
+    check_exports: bool,
+) -> PhaseReport {
+    let storage: Shared = Arc::new(Mutex::new(MemStorage::with_crashes(CrashPlan::none())));
+    let config = DurableStoreConfig::with_snapshot_every(snapshot_every);
+    let dq = DurableSubmitQueue::open(
+        bench_repo(),
+        2,
+        RecoveryConfig::disabled(),
+        storage.clone(),
+        config.clone(),
+    )
+    .expect("open fresh store");
+    let action: Box<sq_core::service::StepAction> = Box::new(|_step, _tree| StepOutcome::Success);
+    for i in 0..n_changes {
+        dq.submit(
+            "bench",
+            format!("change {i}"),
+            dq.head(),
+            Patch::write(
+                RepoPath::new("lib/l.rs").unwrap(),
+                format!("pub fn l() {{ /* rev {i} */ }}"),
+            ),
+        )
+        .expect("submit");
+        dq.process_next(&action).expect("process");
+    }
+    let live_export = dq.export_state_json();
+    let write_stats = dq.store_stats();
+    let repo = dq.repository();
+    drop(dq);
+
+    let journal_bytes = storage
+        .lock()
+        .unwrap()
+        .file(&config.journal_file)
+        .map(|f| f.len() as u64)
+        .unwrap_or(0);
+    let mut total_micros = 0u64;
+    let mut min_micros = u64::MAX;
+    let mut replayed = 0u64;
+    let mut snapshot_bytes = 0u64;
+    for _ in 0..opens {
+        let dq = DurableSubmitQueue::open(
+            repo.clone(),
+            2,
+            RecoveryConfig::disabled(),
+            storage.clone(),
+            config.clone(),
+        )
+        .expect("reopen");
+        let st = dq.store_stats();
+        total_micros += st.replay_micros;
+        min_micros = min_micros.min(st.replay_micros);
+        replayed = st.replayed_records;
+        snapshot_bytes = st.last_snapshot_bytes;
+        if check_exports && dq.export_state_json() != live_export {
+            eprintln!("[bench_recovery] FAIL: {name}: recovered state differs from live state");
+            std::process::exit(1);
+        }
+    }
+    let mean = total_micros as f64 / opens as f64;
+    PhaseReport {
+        name,
+        journal_records: write_stats.appends,
+        journal_bytes,
+        snapshot_bytes,
+        opens,
+        replay_micros_min: min_micros,
+        replay_micros_mean: mean,
+        records_per_sec: replayed as f64 / (min_micros.max(1) as f64 / 1e6),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_changes, opens) = if smoke { (8, 3) } else { (64, 10) };
+    println!(
+        "[bench_recovery] {} run: changes={n_changes} opens={opens}",
+        if smoke { "smoke" } else { "standard" }
+    );
+    let phases = [
+        run_phase("journal_only", n_changes, u64::MAX, opens, smoke),
+        run_phase("snapshot_suffix", n_changes, 16, opens, smoke),
+    ];
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("benchmark", "recovery_replay");
+    w.field_str("mode", if smoke { "smoke" } else { "standard" });
+    w.field_u64("n_changes", u64::from(n_changes));
+    w.key("phases");
+    w.begin_array();
+    for p in &phases {
+        w.begin_object();
+        w.field_str("name", p.name);
+        w.field_u64("journal_records", p.journal_records);
+        w.field_u64("journal_bytes", p.journal_bytes);
+        w.field_u64("snapshot_bytes", p.snapshot_bytes);
+        w.field_u64("opens", p.opens);
+        w.field_u64("replay_micros_min", p.replay_micros_min);
+        w.field_f64("replay_micros_mean", p.replay_micros_mean);
+        w.field_f64("records_per_sec", p.records_per_sec);
+        w.end_object();
+        println!(
+            "[bench_recovery] {}: {} records, {} journal bytes, {} snapshot bytes, \
+             min replay {} us, {:.0} records/s",
+            p.name,
+            p.journal_records,
+            p.journal_bytes,
+            p.snapshot_bytes,
+            p.replay_micros_min,
+            p.records_per_sec
+        );
+    }
+    w.end_array();
+    w.end_object();
+    let json = w.finish();
+    let path = sq_bench::figures_dir().join("BENCH_recovery.json");
+    std::fs::write(&path, &json).expect("write benchmark JSON");
+    println!(
+        "[bench_recovery] ok: wrote {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
+}

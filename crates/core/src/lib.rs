@@ -40,6 +40,10 @@
 //! * [`service`] — an embeddable `SubmitQueueService` that runs the full
 //!   stack (real conflict analyzer, real executor) over a materialized
 //!   repository.
+//! * [`durable`] — the crash-consistent service: every state transition
+//!   is journaled through `sq-store` before it is acknowledged, and
+//!   `DurableSubmitQueue::open` reconstructs the exact acked state from
+//!   snapshot + journal-suffix replay.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +51,7 @@
 pub mod analyzer;
 pub mod audit;
 pub mod batching;
+pub mod durable;
 pub mod pending;
 pub mod planner;
 pub mod predict;
@@ -57,6 +62,7 @@ pub mod strategy;
 pub mod trunk;
 
 pub use analyzer::{ConflictAnalyzer, ConflictGraph};
+pub use durable::{DurableState, DurableSubmitQueue, ServiceEvent};
 pub use pending::{ChangeOutcome, ChangeRecord};
 pub use planner::{run_simulation, PlannerConfig, SimResult};
 pub use predict::{LearnedPredictor, OraclePredictor, Predictor};

@@ -206,6 +206,15 @@ impl<K: Ord + Clone> QuarantineList<K> {
         }
     }
 
+    /// Restore a quarantined key from durable state: set its observation
+    /// count and mark it quarantined without re-announcing (recovery
+    /// replays the original `Quarantined` event; it must not log a new
+    /// one).
+    pub fn restore(&mut self, key: K, observations: u32) {
+        self.counts.insert(key.clone(), observations);
+        self.quarantined.insert(key);
+    }
+
     /// True iff `key` is quarantined.
     pub fn is_quarantined(&self, key: &K) -> bool {
         self.quarantined.contains(key)
@@ -248,6 +257,17 @@ mod tests {
         assert_eq!(q.record_flake("//a:a"), None);
         assert_eq!(q.observations(&"//a:a"), 4);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn restore_rebuilds_quarantine_without_reannouncing() {
+        let mut q: QuarantineList<&str> = QuarantineList::new(3);
+        q.restore("//flaky:t", 5);
+        assert!(q.is_quarantined(&"//flaky:t"));
+        assert_eq!(q.observations(&"//flaky:t"), 5);
+        // Already quarantined: further flakes never re-announce.
+        assert_eq!(q.record_flake("//flaky:t"), None);
+        assert_eq!(q.observations(&"//flaky:t"), 6);
     }
 
     #[test]

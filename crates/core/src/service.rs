@@ -187,6 +187,52 @@ impl SubmitQueueService {
         self.inner.lock().repo.head()
     }
 
+    /// A clone of the underlying repository. The VCS is the system of
+    /// record for commits: a durability layer (or a crash-recovery
+    /// harness) extracts it from a dead service instance the way a real
+    /// deployment's repository survives a service restart.
+    pub fn repository(&self) -> Repository {
+        self.inner.lock().repo.clone()
+    }
+
+    /// Reset the queue, ticket states, counters, and quarantine list to
+    /// a recovered [`DurableState`](crate::durable::DurableState) — the
+    /// restore half of crash recovery. Must run before any submissions;
+    /// the repository is *not* touched (commits live in the VCS, which
+    /// recovers independently).
+    pub(crate) fn restore_from(&self, state: &crate::durable::DurableState) {
+        let mut inner = self.inner.lock();
+        debug_assert!(inner.queue.is_empty() && inner.states.is_empty());
+        inner.next_ticket = state.next_ticket.max(1);
+        inner.landed = state.landed;
+        inner.rejected = state.rejected;
+        inner.infra_rejected = state.infra_rejected;
+        inner.states = state
+            .states
+            .iter()
+            .map(|(t, s)| (TicketId(*t), s.clone()))
+            .collect();
+        inner.queue = state
+            .queue
+            .iter()
+            .map(|q| Submission {
+                ticket: TicketId(q.ticket),
+                author: q.author.clone(),
+                description: q.description.clone(),
+                base: q.base,
+                patch: q.patch.clone(),
+            })
+            .collect();
+        for (target, observations) in &state.quarantined {
+            // Quarantined events journal canonical `//pkg:name` labels,
+            // which always re-resolve; a malformed label would mean a
+            // corrupt journal, which decoding already rejected.
+            if let Ok(name) = TargetName::resolve(target, "") {
+                inner.quarantine.restore(name, *observations);
+            }
+        }
+    }
+
     /// Submit a change: a patch made against `base` (usually the HEAD the
     /// developer branched from — step 5 of the Figure 3 life cycle).
     pub fn submit(

@@ -1,0 +1,144 @@
+//! Property tests for the durable-event wire format: arbitrary
+//! [`ServiceEvent`] batches must survive `encode_batch` →
+//! `decode_batch` exactly, and the [`DurableState`] fold must be
+//! insensitive to snapshot placement — folding all events directly
+//! equals snapshotting (encode/decode) at any intermediate point and
+//! folding the rest on top. That equivalence is precisely what makes
+//! `snapshot ⊕ journal-suffix` recovery correct at every cut point.
+
+use proptest::prelude::*;
+use sq_core::durable::{decode_batch, encode_batch, DurableState, ServiceEvent, Verdict};
+use sq_vcs::{CommitId, FileOp, ObjectId, Patch, RepoPath};
+
+fn arb_string() -> impl Strategy<Value = String> {
+    // Cover the JSON/codec-hostile characters: quotes, backslashes,
+    // newlines, multi-byte UTF-8.
+    proptest::collection::vec(
+        prop_oneof![
+            Just("a"),
+            Just("B"),
+            Just("\""),
+            Just("\\"),
+            Just("\n"),
+            Just("é"),
+            Just("日"),
+            Just(" "),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+fn arb_commit() -> impl Strategy<Value = CommitId> {
+    any::<u8>().prop_map(|b| {
+        let mut raw = [0u8; 32];
+        for (i, slot) in raw.iter_mut().enumerate() {
+            *slot = b.wrapping_add(i as u8);
+        }
+        CommitId(ObjectId::from_raw(raw))
+    })
+}
+
+fn arb_patch() -> impl Strategy<Value = Patch> {
+    proptest::collection::vec(
+        (0u8..4, 0u8..4, arb_string(), any::<bool>()).prop_map(|(d, f, content, write)| {
+            let path = RepoPath::new(format!("d{d}/f{f}.rs")).unwrap();
+            if write {
+                FileOp::Write { path, content }
+            } else {
+                FileOp::Delete { path }
+            }
+        }),
+        0..5,
+    )
+    .prop_map(Patch::from_ops)
+}
+
+fn arb_verdict() -> impl Strategy<Value = Verdict> {
+    prop_oneof![
+        Just(Verdict::Pass),
+        Just(Verdict::Fail),
+        Just(Verdict::Infra)
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = ServiceEvent> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            arb_string(),
+            arb_string(),
+            arb_commit(),
+            arb_patch()
+        )
+            .prop_map(
+                |(ticket, author, description, base, patch)| ServiceEvent::Enqueue {
+                    ticket,
+                    author,
+                    description,
+                    base,
+                    patch,
+                }
+            ),
+        any::<u64>().prop_map(|ticket| ServiceEvent::SpeculationStarted { ticket }),
+        (any::<u64>(), arb_string())
+            .prop_map(|(ticket, reason)| ServiceEvent::SpeculationAborted { ticket, reason }),
+        (any::<u64>(), arb_verdict(), arb_string()).prop_map(|(ticket, verdict, detail)| {
+            ServiceEvent::BuildVerdict {
+                ticket,
+                verdict,
+                detail,
+            }
+        }),
+        (any::<u64>(), arb_commit())
+            .prop_map(|(ticket, commit)| ServiceEvent::Committed { ticket, commit }),
+        (any::<u64>(), arb_string(), any::<bool>()).prop_map(|(ticket, reason, infra)| {
+            ServiceEvent::Rejected {
+                ticket,
+                reason,
+                infra,
+            }
+        }),
+        (arb_string(), any::<u32>()).prop_map(|(target, observations)| {
+            ServiceEvent::Quarantined {
+                target,
+                observations,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn event_batches_round_trip(events in proptest::collection::vec(arb_event(), 0..8)) {
+        let decoded = decode_batch(&encode_batch(&events)).expect("decode");
+        prop_assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn state_fold_commutes_with_snapshot_at_any_cut(
+        events in proptest::collection::vec(arb_event(), 0..12),
+        cut in any::<u64>(),
+    ) {
+        // Direct fold over everything.
+        let mut direct = DurableState::new();
+        for ev in &events {
+            direct.apply(ev);
+        }
+        // Fold a prefix, round-trip it through the snapshot encoding
+        // (as recovery does), then fold the suffix on top.
+        let k = (cut as usize) % (events.len() + 1);
+        let mut prefix = DurableState::new();
+        for ev in &events[..k] {
+            prefix.apply(ev);
+        }
+        let mut resumed = DurableState::decode(&prefix.encode()).expect("state decode");
+        for ev in &events[k..] {
+            resumed.apply(ev);
+        }
+        prop_assert_eq!(&resumed, &direct);
+        prop_assert_eq!(resumed.export_json(), direct.export_json());
+    }
+}

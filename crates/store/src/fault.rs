@@ -1,0 +1,174 @@
+//! Seeded crash-point injection for the simulated storage backend.
+//!
+//! Same discipline as `exec::fault`: every decision is a pure function
+//! of `(seed, operation ordinal)` via the SplitMix64 finalizer, so a
+//! crash schedule is bit-identical across runs and independent of
+//! thread interleaving. (The mixer is re-implemented here rather than
+//! imported — `sq-store` sits below every other crate and stays
+//! dependency-free.)
+
+/// SplitMix64 finalizer — the same mixer `exec::fault` and the sim RNG
+/// seeding use.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Map a 64-bit hash to a uniform fraction in `[0, 1)`.
+pub fn fraction(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Where, relative to a mutating storage operation, the simulated
+/// process dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// The write was torn: only a strict prefix of the bytes reached
+    /// the medium before the process died.
+    Torn,
+    /// The write fully reached the medium, but the process died before
+    /// it could acknowledge — the "journaled but never acked" window.
+    AfterWrite,
+}
+
+/// A seeded schedule of crash points over mutating storage operations.
+///
+/// Operations are numbered in issue order (the ordinal survives
+/// recovery: a revived [`MemStorage`](crate::storage::MemStorage) keeps
+/// counting, so one seed describes one complete multi-crash history).
+#[derive(Debug, Clone)]
+pub enum CrashPlan {
+    /// Never crash.
+    None,
+    /// Crash each mutating operation independently with probability
+    /// `rate`; the crash kind and torn fraction are further seeded
+    /// draws.
+    Rate {
+        /// Decision seed.
+        seed: u64,
+        /// Per-operation crash probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Crash exactly at the given operation ordinal, with the given
+    /// kind — for targeted tests ("kill between journal append and
+    /// ack").
+    AtOp {
+        /// The mutating-operation ordinal (0-based) to crash on.
+        op: u64,
+        /// How the crash tears (or doesn't tear) the write.
+        kind: CrashKind,
+    },
+}
+
+impl CrashPlan {
+    /// A plan that never crashes.
+    pub fn none() -> Self {
+        CrashPlan::None
+    }
+
+    /// A plan crashing each mutating operation with probability `rate`.
+    /// Panics unless `rate` is a probability in `[0, 1]`.
+    pub fn at_rate(seed: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "crash rate must be in [0,1]");
+        CrashPlan::Rate { seed, rate }
+    }
+
+    /// A plan crashing exactly on operation `op` with `kind`.
+    pub fn at_op(op: u64, kind: CrashKind) -> Self {
+        CrashPlan::AtOp { op, kind }
+    }
+
+    /// Decide whether mutating operation `op` (0-based ordinal) crashes,
+    /// and how. Pure function of `(plan, op)`.
+    pub fn decide(&self, op: u64) -> Option<CrashDecision> {
+        match self {
+            CrashPlan::None => None,
+            CrashPlan::AtOp { op: at, kind } => (op == *at).then_some(CrashDecision {
+                kind: *kind,
+                torn_fraction: 0.5,
+            }),
+            CrashPlan::Rate { seed, rate } => {
+                if *rate <= 0.0 {
+                    return None;
+                }
+                let h = mix64(*seed ^ mix64(op));
+                if fraction(h) >= *rate {
+                    return None;
+                }
+                // Independent draws for the kind and the torn fraction.
+                let k = mix64(h ^ 0x7EA2);
+                let kind = if k & 1 == 0 {
+                    CrashKind::Torn
+                } else {
+                    CrashKind::AfterWrite
+                };
+                Some(CrashDecision {
+                    kind,
+                    torn_fraction: fraction(mix64(h ^ 0xF417)),
+                })
+            }
+        }
+    }
+}
+
+/// The outcome of a crash decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashDecision {
+    /// Torn or after-write.
+    pub kind: CrashKind,
+    /// For torn writes: the fraction of the bytes that survive (always
+    /// strictly fewer than all of them — see
+    /// [`MemStorage`](crate::storage::MemStorage)).
+    pub torn_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_crashes() {
+        let p = CrashPlan::none();
+        assert!((0..1000).all(|op| p.decide(op).is_none()));
+    }
+
+    #[test]
+    fn at_op_crashes_exactly_once() {
+        let p = CrashPlan::at_op(7, CrashKind::Torn);
+        let hits: Vec<u64> = (0..100).filter(|&op| p.decide(op).is_some()).collect();
+        assert_eq!(hits, vec![7]);
+        assert_eq!(p.decide(7).unwrap().kind, CrashKind::Torn);
+    }
+
+    #[test]
+    fn rate_decisions_are_deterministic_and_seed_sensitive() {
+        let a = CrashPlan::at_rate(42, 0.3);
+        let b = CrashPlan::at_rate(42, 0.3);
+        let c = CrashPlan::at_rate(43, 0.3);
+        let seq = |p: &CrashPlan| (0..500).map(|op| p.decide(op)).collect::<Vec<_>>();
+        assert_eq!(seq(&a), seq(&b));
+        assert_ne!(seq(&a), seq(&c));
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let p = CrashPlan::at_rate(9, 0.2);
+        let n = 20_000u64;
+        let hits = (0..n).filter(|&op| p.decide(op).is_some()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn both_crash_kinds_occur() {
+        let p = CrashPlan::at_rate(5, 0.5);
+        let kinds: Vec<CrashKind> = (0..200)
+            .filter_map(|op| p.decide(op))
+            .map(|d| d.kind)
+            .collect();
+        assert!(kinds.contains(&CrashKind::Torn));
+        assert!(kinds.contains(&CrashKind::AfterWrite));
+    }
+}

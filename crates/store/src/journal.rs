@@ -1,0 +1,238 @@
+//! Write-ahead journal record framing: length-prefixed, CRC-checksummed
+//! records with torn-tail truncation and corruption detection.
+//!
+//! File layout:
+//!
+//! ```text
+//! "SQWAL1\r\n"                                      8-byte magic
+//! record := [u32 len] [u32 hcrc] [u32 bcrc] [u64 lsn] [payload: len]
+//! ```
+//!
+//! `hcrc` checksums the length prefix itself; `bcrc` checksums
+//! `lsn ‖ payload`. All integers little-endian. Both checksums are
+//! [`checksum::crc32`](crate::checksum::crc32) — the one shared
+//! implementation.
+//!
+//! The distinction that makes recovery safe:
+//!
+//! * **Torn tail** — the file ends before a record completes (short
+//!   header, or a full header whose body runs past EOF). This is what
+//!   an interrupted append leaves behind; the scanner reports the valid
+//!   prefix length so the opener can truncate and continue.
+//! * **Corruption** — a record is *fully present* but a checksum
+//!   disagrees. An append tears to a strict byte prefix, so this can
+//!   never be the residue of a crash; it is silent damage and the scan
+//!   refuses the file rather than guessing. Checksumming the length
+//!   prefix separately means a bit flip in *any* byte of a complete
+//!   record — including the framing itself — is detected rather than
+//!   misread as a torn tail that would silently drop good records
+//!   behind it.
+
+use crate::checksum::{crc32, Crc32};
+use crate::storage::StoreError;
+
+/// Journal file magic: identifies the format and its version.
+pub const MAGIC: &[u8; 8] = b"SQWAL1\r\n";
+
+/// Fixed bytes before a record's body: len + hcrc + bcrc.
+pub const HEADER_LEN: usize = 12;
+
+/// Encode one record (header + lsn + payload) ready to append.
+pub fn encode_record(lsn: u64, payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("journal payload fits in u32");
+    let mut bcrc = Crc32::new();
+    bcrc.update(&lsn.to_le_bytes());
+    bcrc.update(payload);
+    let mut out = Vec::with_capacity(HEADER_LEN + 8 + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(&len.to_le_bytes()).to_le_bytes());
+    out.extend_from_slice(&bcrc.finish().to_le_bytes());
+    out.extend_from_slice(&lsn.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One recovered record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Log sequence number (monotone, 1-based).
+    pub lsn: u64,
+    /// The payload as appended.
+    pub payload: Vec<u8>,
+}
+
+/// Result of scanning a journal's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan {
+    /// Every complete, checksum-valid record, in file order.
+    pub records: Vec<Record>,
+    /// Length of the valid prefix (magic + complete records); anything
+    /// beyond it is a torn tail the opener should truncate away.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` (0 for a clean file).
+    pub torn_bytes: u64,
+}
+
+/// Scan journal bytes (including the magic) into records.
+///
+/// Returns `Err` only for *corruption* — a complete record failing its
+/// checksums, or a damaged magic. A torn tail is a normal crash
+/// artifact and is reported in the `Scan`, not as an error. A file
+/// shorter than the magic is treated as a torn creation (no records).
+pub fn scan(data: &[u8]) -> Result<Scan, StoreError> {
+    if data.len() < MAGIC.len() {
+        // Creation itself was interrupted: no record can exist yet.
+        return Ok(Scan {
+            records: Vec::new(),
+            valid_len: 0,
+            torn_bytes: data.len() as u64,
+        });
+    }
+    if &data[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::CorruptJournal {
+            offset: 0,
+            detail: "bad magic".to_string(),
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = MAGIC.len();
+    loop {
+        let rem = data.len() - pos;
+        if rem == 0 {
+            return Ok(Scan {
+                records,
+                valid_len: pos as u64,
+                torn_bytes: 0,
+            });
+        }
+        if rem < HEADER_LEN {
+            // Short header: an append died inside the framing.
+            return Ok(Scan {
+                records,
+                valid_len: pos as u64,
+                torn_bytes: rem as u64,
+            });
+        }
+        let word = |at: usize| {
+            u32::from_le_bytes(data[pos + at..pos + at + 4].try_into().expect("4 bytes"))
+        };
+        let len_bytes = &data[pos..pos + 4];
+        let len = word(0) as usize;
+        let hcrc = word(4);
+        let bcrc = word(8);
+        if crc32(len_bytes) != hcrc {
+            // The full header is present (torn appends leave strict
+            // prefixes, caught above), so a bad header checksum is
+            // damage, not a crash artifact.
+            return Err(StoreError::CorruptJournal {
+                offset: pos as u64,
+                detail: "header checksum mismatch".to_string(),
+            });
+        }
+        let body_len = 8 + len;
+        if rem - HEADER_LEN < body_len {
+            // Valid header, body runs past EOF: torn append.
+            return Ok(Scan {
+                records,
+                valid_len: pos as u64,
+                torn_bytes: rem as u64,
+            });
+        }
+        let body = &data[pos + HEADER_LEN..pos + HEADER_LEN + body_len];
+        if crc32(body) != bcrc {
+            return Err(StoreError::CorruptJournal {
+                offset: pos as u64,
+                detail: "payload checksum mismatch".to_string(),
+            });
+        }
+        let lsn = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+        records.push(Record {
+            lsn,
+            payload: body[8..].to_vec(),
+        });
+        pos += HEADER_LEN + body_len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_with(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut f = MAGIC.to_vec();
+        for (i, p) in payloads.iter().enumerate() {
+            f.extend_from_slice(&encode_record(i as u64 + 1, p));
+        }
+        f
+    }
+
+    #[test]
+    fn encode_scan_round_trip() {
+        let f = file_with(&[b"alpha", b"", b"gamma with spaces"]);
+        let scan = scan(&f).unwrap();
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.valid_len, f.len() as u64);
+        assert_eq!(
+            scan.records,
+            vec![
+                Record {
+                    lsn: 1,
+                    payload: b"alpha".to_vec()
+                },
+                Record {
+                    lsn: 2,
+                    payload: Vec::new()
+                },
+                Record {
+                    lsn: 3,
+                    payload: b"gamma with spaces".to_vec()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_errored() {
+        let full = file_with(&[b"first", b"second"]);
+        let intact = file_with(&[b"first"]).len();
+        // Cut anywhere inside the second record: the first survives.
+        for cut in intact + 1..full.len() {
+            let scan = scan(&full[..cut]).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.valid_len as usize, intact, "cut at {cut}");
+            assert_eq!(scan.torn_bytes as usize, cut - intact, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn torn_magic_yields_empty_scan() {
+        for cut in 0..MAGIC.len() {
+            let scan = scan(&MAGIC[..cut]).unwrap();
+            assert!(scan.records.is_empty());
+            assert_eq!(scan.valid_len, 0);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_corruption() {
+        let mut f = file_with(&[b"x"]);
+        f[2] ^= 0x40;
+        assert!(matches!(
+            scan(&f),
+            Err(StoreError::CorruptJournal { offset: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_complete_record_is_detected() {
+        let f = file_with(&[b"first record", b"second record"]);
+        for byte in MAGIC.len()..f.len() {
+            let mut damaged = f.clone();
+            damaged[byte] ^= 1;
+            assert!(
+                matches!(scan(&damaged), Err(StoreError::CorruptJournal { .. })),
+                "flip at byte {byte} went undetected"
+            );
+        }
+    }
+}

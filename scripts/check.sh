@@ -33,4 +33,7 @@ cargo clippy --workspace --all-targets \
 echo "==> bench_e2e --smoke (machine-readable benchmark: emit + validate JSON)"
 cargo run --release -p sq-bench --bin bench_e2e -- --smoke
 
+echo "==> bench_recovery --smoke (durable store: replay throughput + byte-identical recovery)"
+cargo run --release -p sq-bench --bin bench_recovery -- --smoke
+
 echo "All checks passed."

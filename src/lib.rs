@@ -14,8 +14,11 @@
 //! * [`exec`] — build controller: caching, load balancing, real executor.
 //! * [`ml`] — logistic regression + RFE (Section 7.2).
 //! * [`workload`] — synthetic workloads calibrated to the paper's curves.
+//! * [`store`] — durable state: CRC-checksummed write-ahead journal,
+//!   snapshots, crash-consistent recovery.
 //! * [`core`] — SubmitQueue itself: speculation engine, conflict
-//!   analyzer, planner, baselines, service API.
+//!   analyzer, planner, baselines, service API (including the durable
+//!   `DurableSubmitQueue` wrapper).
 //!
 //! ```
 //! use keeping_master_green::core::service::SubmitQueueService;
@@ -48,5 +51,6 @@ pub use sq_core as core;
 pub use sq_exec as exec;
 pub use sq_ml as ml;
 pub use sq_sim as sim;
+pub use sq_store as store;
 pub use sq_vcs as vcs;
 pub use sq_workload as workload;

@@ -192,6 +192,180 @@ fn chaos_faults_never_reject_good_changes_and_history_is_reproducible() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Crash-point chaos: the durable service under seeded process deaths.
+//
+// A `MemStorage` crash plan kills the simulated process at mutating
+// storage operations — including the window between a journal append
+// and its acknowledgement — at rate 0.1. After every death the harness
+// does what an operator does: keeps the VCS (external state), revives
+// the storage medium, and reopens the service from snapshot + journal.
+// The recovered run must converge to byte-identical exported state with
+// an uncrashed twin, never double-commit, and never lose an
+// acknowledged enqueue.
+// ---------------------------------------------------------------------
+
+use keeping_master_green::core::durable::DurableSubmitQueue;
+use keeping_master_green::core::service::TicketId;
+use keeping_master_green::store::{CrashPlan, DurableStoreConfig, MemStorage};
+use std::sync::{Arc, Mutex as StdMutex};
+
+const CRASH_RATE: f64 = 0.1;
+const CRASH_SEEDS: [u64; 3] = [11, 12, 13];
+
+type SharedStorage = Arc<StdMutex<MemStorage>>;
+
+struct DurableRun {
+    export: String,
+    landed: u64,
+    commits: usize,
+    crashes: u32,
+    acked: Vec<u64>,
+}
+
+/// Revive the dead medium and reopen the service over the surviving
+/// repository — the recovery step after each simulated process death.
+fn recover(
+    dead: DurableSubmitQueue<SharedStorage>,
+    storage: &SharedStorage,
+) -> DurableSubmitQueue<SharedStorage> {
+    let repo = dead.repository();
+    drop(dead);
+    storage.lock().unwrap().revive();
+    DurableSubmitQueue::open(
+        repo,
+        3,
+        RecoveryConfig::disabled(),
+        storage.clone(),
+        DurableStoreConfig::with_snapshot_every(8),
+    )
+    .expect("reopen after crash")
+}
+
+/// Run the whole workload through a durable service whose storage dies
+/// per `plan`, recovering after every death.
+fn durable_run(workload_seed: u64, plan: CrashPlan) -> DurableRun {
+    let params = small_params();
+    let m = MaterializedRepo::generate(&params).unwrap();
+    let w = WorkloadBuilder::new(params)
+        .seed(workload_seed)
+        .n_changes(N_CHANGES)
+        .build()
+        .unwrap();
+    let storage: SharedStorage = Arc::new(StdMutex::new(MemStorage::with_crashes(plan)));
+    let mut dq = DurableSubmitQueue::open(
+        m.repo.clone(),
+        3,
+        RecoveryConfig::disabled(),
+        storage.clone(),
+        DurableStoreConfig::with_snapshot_every(8),
+    )
+    .expect("open fresh store");
+    let action: Box<StepAction> = Box::new(truth_outcome);
+
+    let mut crashes = 0u32;
+    let mut acked = Vec::with_capacity(w.changes.len());
+    for (i, c) in w.changes.iter().enumerate() {
+        // Tickets are assigned sequentially, and the resubmit protocol
+        // below keeps the assignment deterministic across crashes.
+        let expected = i as u64 + 1;
+        loop {
+            let base = dq.head();
+            match dq.submit(
+                format!("dev{}", c.developer.0),
+                format!("change {}", c.id),
+                base,
+                patch_with_truth(&m, c),
+            ) {
+                Ok(t) => {
+                    assert_eq!(t, TicketId(expected), "ticket assignment diverged");
+                    break;
+                }
+                Err(_) => {
+                    crashes += 1;
+                    dq = recover(dq, &storage);
+                    // The ack was lost; the enqueue itself may or may
+                    // not be durable. If recovery replayed it, the
+                    // submission counts as accepted — never resubmit.
+                    if dq.status(TicketId(expected)).is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        acked.push(expected);
+        // Drain: process until idle, recovering across deaths.
+        loop {
+            match dq.process_next(&action) {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => {
+                    crashes += 1;
+                    dq = recover(dq, &storage);
+                }
+            }
+        }
+    }
+    let repo = dq.repository();
+    DurableRun {
+        export: dq.export_state_json(),
+        landed: dq.service().stats().landed,
+        commits: repo.log(repo.head()).unwrap().len(),
+        crashes,
+        acked,
+    }
+}
+
+#[test]
+fn chaos_crash_points_recover_to_identical_state() {
+    for seed in CRASH_SEEDS {
+        let crashed = durable_run(seed, CrashPlan::at_rate(seed, CRASH_RATE));
+        // The plan actually fired: a silent run would test nothing.
+        assert!(crashed.crashes > 0, "seed {seed}: no crash points hit");
+
+        // An uncrashed twin over the same workload.
+        let clean = durable_run(seed, CrashPlan::none());
+        assert_eq!(clean.crashes, 0);
+
+        // Snapshot + journal replay reconstructs service state
+        // byte-identically to the run that never died.
+        assert_eq!(
+            crashed.export, clean.export,
+            "seed {seed}: recovered state diverged from uncrashed run"
+        );
+
+        // Zero double-applied commits: the mainline has exactly one
+        // commit per landed change (plus the root), crashes or not.
+        assert_eq!(
+            crashed.commits as u64,
+            crashed.landed + 1,
+            "seed {seed}: commit log does not match landed count"
+        );
+        assert_eq!(crashed.commits, clean.commits, "seed {seed}");
+
+        // Zero acked-then-lost events: every acknowledged enqueue
+        // reached a terminal state.
+        let states: Vec<String> = crashed
+            .acked
+            .iter()
+            .map(|t| {
+                let json = &crashed.export;
+                let key = format!("\"{t}\":");
+                assert!(
+                    json.contains(&key),
+                    "seed {seed}: acked ticket {t} missing from recovered state"
+                );
+                key
+            })
+            .collect();
+        assert_eq!(states.len(), N_CHANGES);
+        assert!(
+            !crashed.export.contains("\"state\":\"queued\""),
+            "seed {seed}: drained run left a ticket queued"
+        );
+    }
+}
+
 #[test]
 fn chaos_distinct_seeds_inject_distinct_fault_patterns() {
     // Not a determinism requirement — a sanity check that the seed
