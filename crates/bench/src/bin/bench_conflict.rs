@@ -1,0 +1,100 @@
+//! Conflict-analysis benchmark: serial vs indexed vs indexed+parallel.
+//!
+//! Default mode runs the recorded configuration (64/256/1024-change
+//! windows) and writes `results/BENCH_conflict.json` under the
+//! repository root; `--smoke` runs the small configuration, writes the
+//! document under `target/figures/`, and exits nonzero unless the
+//! perf-regression gate holds: indexed+parallel wall time no worse than
+//! the serial baseline on the 256-change window, and byte-identical
+//! conflict matrices across all three modes (every window, every mode).
+//! `--out <path>` overrides the destination in either mode (this is how
+//! the committed trajectory file at the repo root is refreshed:
+//! `bench_conflict --out BENCH_conflict.json`). Both modes validate the
+//! emitted JSON before writing it.
+
+use sq_bench::conflict::{run_conflict, validate, ConflictParams};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_override = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("[bench_conflict] FAIL: --out requires a path argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+    let params = if smoke {
+        ConflictParams::smoke()
+    } else {
+        ConflictParams::standard()
+    };
+    println!(
+        "[bench_conflict] {} run: seed={} n_parts={} windows={:?} threads={} reps={}",
+        if smoke { "smoke" } else { "standard" },
+        params.seed,
+        params.n_parts,
+        params.windows,
+        params.threads,
+        params.reps
+    );
+    let report = run_conflict(&params);
+    for r in &report.windows {
+        println!(
+            "[bench_conflict] window {:>5}: {:>8} pairs, {:>7} conflicts | serial {:>9.3} ms | indexed {:>8.3} ms ({:>6.1}x) | +parallel {:>8.3} ms ({:>6.1}x) | identical={}",
+            r.n,
+            r.pairs,
+            r.conflicts,
+            r.serial_nanos as f64 / 1e6,
+            r.indexed_nanos as f64 / 1e6,
+            r.speedup_indexed(),
+            r.parallel_nanos as f64 / 1e6,
+            r.speedup_parallel(),
+            r.identical
+        );
+    }
+    if smoke {
+        if let Err(e) = report.smoke_gate() {
+            eprintln!("[bench_conflict] FAIL: perf-regression gate: {e}");
+            std::process::exit(1);
+        }
+        println!("[bench_conflict] gate ok: parallel <= serial and matrices identical");
+    }
+    let json = report.to_json();
+    if let Err(e) = validate(&json) {
+        eprintln!("[bench_conflict] FAIL: emitted document is invalid: {e}");
+        std::process::exit(1);
+    }
+    let path = match out_override {
+        Some(out) => {
+            let p = PathBuf::from(out);
+            if p.is_absolute() {
+                p
+            } else {
+                repo_root().join(p)
+            }
+        }
+        None if smoke => sq_bench::figures_dir().join("BENCH_conflict_smoke.json"),
+        None => repo_root().join("results").join("BENCH_conflict.json"),
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&path, &json).expect("write benchmark JSON");
+    println!(
+        "[bench_conflict] ok: wrote {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench/ -> crates/ -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf()
+}

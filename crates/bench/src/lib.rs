@@ -16,6 +16,8 @@
 //! | `fig14`             | mainline green rate before SubmitQueue              |
 //! | `model_eval`        | §7.2: accuracy, top features, RFE                   |
 //! | `graph_change_rate` | §5.2: fraction of changes altering the build graph  |
+//! | `bench_e2e`         | machine-readable end-to-end JSON (`BENCH_e2e.json`) |
+//! | `bench_conflict`    | §5.2 conflict index: serial vs indexed vs parallel  |
 //!
 //! Every binary prints the series to stdout and writes a CSV to
 //! `target/figures/`. Environment knobs: `SQ_BENCH_HOURS` (simulated
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conflict;
 pub mod e2e;
 
 use sq_core::planner::{run_simulation, PlannerConfig, SimResult};

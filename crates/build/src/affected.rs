@@ -133,6 +133,9 @@ impl AffectedSet {
     /// the union-graph algorithm; also the Fig. 8 trap — name overlap is
     /// *not* the whole conflict story).
     pub fn names_intersect(&self, other: &AffectedSet) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
         // Walk the smaller set, probe the larger.
         let (small, large) = if self.len() <= other.len() {
             (self, other)

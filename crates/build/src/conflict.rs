@@ -115,7 +115,15 @@ pub fn fast_path_conflict(
         return None;
     }
     let da = AffectedSet::between(base, a);
+    if da.is_empty() {
+        // A no-op side cannot disagree with anything; skip materializing
+        // the other side's set entirely.
+        return Some(false);
+    }
     let db = AffectedSet::between(base, b);
+    if db.is_empty() {
+        return Some(false);
+    }
     let shared_disagreement = da
         .iter()
         .any(|(name, state)| db.get(name).is_some_and(|other| other != state));
@@ -147,6 +155,16 @@ pub fn union_graph_conflict(
     // Step 2: a target affected by both sides.
     if da.names_intersect(&db) {
         return true;
+    }
+    // A genuinely no-op side — empty delta over an unchanged tree — has
+    // nothing to couple through: the composed snapshot is the other side
+    // alone. Decide before materializing the name sets and the union
+    // dependency maps below.
+    let noop = |side: &SnapshotAnalysis, delta: &AffectedSet| {
+        delta.is_empty() && base.tree.changed_paths(&side.tree).is_empty()
+    };
+    if noop(a, &da) || noop(b, &db) {
+        return false;
     }
     let na = visible_names(base, a, b, &da);
     let nb = visible_names(base, b, a, &db);

@@ -16,12 +16,17 @@
 //!   the unchanged-graph fast path, and the tiered production check
 //!   ([`conflict::changes_conflict`]) used by the conflict analyzer
 //!   (§5.2, Fig. 8);
+//! * [`bitset`] — target-name interning and packed-word bitsets, so the
+//!   per-pair Eq.-6 name intersection is a word-wise AND instead of a
+//!   string-keyed map probe (the conflict index in `sq-core` builds on
+//!   this);
 //! * [`error`] — everything that makes a snapshot unbuildable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod affected;
+pub mod bitset;
 pub mod conflict;
 pub mod error;
 pub mod graph;
@@ -29,6 +34,7 @@ pub mod hash;
 pub mod parser;
 
 pub use affected::{AffectedSet, AffectedState, SnapshotAnalysis};
+pub use bitset::{BitSet, InternedAffected, Interner};
 pub use error::BuildError;
 pub use graph::{BuildGraph, RuleKind, Target, TargetName};
 pub use hash::{TargetHash, TargetHashes};

@@ -1,0 +1,402 @@
+//! The incremental conflict index: memoized per-change affected bitsets
+//! plus a parallel pairwise conflict matrix.
+//!
+//! The planner re-examines the pending window on every epoch; without an
+//! index that means recomputing each change's affected set — and every
+//! pairwise intersection — from scratch each round. The index caches one
+//! [`BitSet`] per change, keyed by `(change id, trunk hash)`:
+//!
+//! * a **hit** returns the cached bitset untouched;
+//! * the entry is invalidated only when the **trunk advances** (an entry
+//!   computed against an older trunk is stale by definition — affected
+//!   sets are relative to mainline) or when the change itself is
+//!   **rebased** ([`ConflictIndex::invalidate`]) or resolved
+//!   ([`ConflictIndex::forget`]).
+//!
+//! Pairwise decisions are then word-wise ANDs ([`ConflictIndex::pair_conflict`]),
+//! and whole-window matrices can be computed serially or in parallel
+//! across the vendored `crossbeam` scoped threads. **Determinism:** the
+//! matrix is partitioned by *row* (change-id order), each worker fills
+//! word-disjoint rows of the output, and workers are joined in partition
+//! order — so the resulting [`ConflictMatrix`] is byte-identical to the
+//! serial one regardless of thread count or interleaving. The only
+//! nondeterministic quantity is wall time, which is accumulated in
+//! [`IndexStats::parallel_nanos`] and **never** fed back into any
+//! decision; in simulation runs the parallel batch path is not exercised
+//! at all, so `analyzer.parallel_ms` exports as a constant 0 and
+//! same-seed runs stay byte-identical (asserted by
+//! `planner::tests::observed_runs_are_unperturbed_and_export_identical_json`).
+
+use sq_build::BitSet;
+use sq_obs::MetricsRegistry;
+use sq_workload::ChangeId;
+use std::collections::HashMap;
+
+/// Identifies the mainline snapshot an affected bitset was computed
+/// against. Any advance invalidates every cached entry (lazily).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrunkHash(pub u64);
+
+/// Counters the index accumulates; exported as `analyzer.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Bitset lookups served from cache.
+    pub cache_hits: u64,
+    /// Bitset lookups that had to (re)compute: first sight, trunk
+    /// advance, or rebase.
+    pub cache_misses: u64,
+    /// Pairwise conflict decisions made.
+    pub pairs_checked: u64,
+    /// Wall time spent inside parallel matrix batches. Never influences
+    /// any decision; deterministically 0 when no batch ran.
+    pub parallel_nanos: u64,
+}
+
+impl IndexStats {
+    /// Export as `analyzer.*` counters plus the `analyzer.parallel_ms`
+    /// gauge. Safe to call with a same-seed-deterministic registry: all
+    /// exported values are pure functions of the queries made, except
+    /// `parallel_ms`, which is 0 unless a parallel batch actually ran.
+    pub fn record_into(&self, metrics: &mut MetricsRegistry) {
+        metrics.add("analyzer.cache_hits", self.cache_hits);
+        metrics.add("analyzer.cache_misses", self.cache_misses);
+        metrics.add("analyzer.pairs_checked", self.pairs_checked);
+        metrics.set_gauge("analyzer.parallel_ms", self.parallel_nanos as f64 / 1e6);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    trunk: TrunkHash,
+    bits: BitSet,
+}
+
+/// Memoized per-change affected bitsets keyed by `(change, trunk)`.
+#[derive(Debug, Clone)]
+pub struct ConflictIndex {
+    trunk: TrunkHash,
+    entries: HashMap<ChangeId, Entry>,
+    stats: IndexStats,
+}
+
+impl ConflictIndex {
+    /// An empty index against `trunk`.
+    pub fn new(trunk: TrunkHash) -> Self {
+        ConflictIndex {
+            trunk,
+            entries: HashMap::new(),
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// The trunk entries are currently valid against.
+    pub fn trunk(&self) -> TrunkHash {
+        self.trunk
+    }
+
+    /// Advance the trunk. Entries computed against the old trunk stay in
+    /// the map but are *stale*: the next [`ConflictIndex::ensure_with`]
+    /// for that change recomputes (lazy invalidation — no O(n) sweep on
+    /// every commit).
+    pub fn advance_trunk(&mut self, trunk: TrunkHash) {
+        self.trunk = trunk;
+    }
+
+    /// Invalidate one change's entry (it was rebased: same id, new
+    /// content — the cached bitset no longer describes it).
+    pub fn invalidate(&mut self, id: ChangeId) {
+        self.entries.remove(&id);
+    }
+
+    /// Drop a resolved change's entry for good.
+    pub fn forget(&mut self, id: ChangeId) {
+        self.entries.remove(&id);
+    }
+
+    /// The change's affected bitset, recomputing via `compute` only on a
+    /// miss (first sight, stale trunk, or post-rebase).
+    pub fn ensure_with(&mut self, id: ChangeId, compute: impl FnOnce() -> BitSet) -> &BitSet {
+        let fresh = self.entries.get(&id).is_some_and(|e| e.trunk == self.trunk);
+        if fresh {
+            self.stats.cache_hits += 1;
+        } else {
+            self.stats.cache_misses += 1;
+            self.entries.insert(
+                id,
+                Entry {
+                    trunk: self.trunk,
+                    bits: compute(),
+                },
+            );
+        }
+        &self.entries[&id].bits
+    }
+
+    /// The cached bitset, if present and computed against the current
+    /// trunk.
+    pub fn bits(&self, id: ChangeId) -> Option<&BitSet> {
+        self.entries
+            .get(&id)
+            .filter(|e| e.trunk == self.trunk)
+            .map(|e| &e.bits)
+    }
+
+    /// Pairwise decision from the cached bitsets: word-wise AND. Both
+    /// entries must be fresh (ensure first); a missing entry is treated
+    /// as conflicting — conservative, never parallel-commit something the
+    /// index cannot see.
+    pub fn pair_conflict(&mut self, a: ChangeId, b: ChangeId) -> bool {
+        self.stats.pairs_checked += 1;
+        match (self.bits(a), self.bits(b)) {
+            (Some(ba), Some(bb)) => ba.intersects(bb),
+            _ => true,
+        }
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// The full pairwise matrix over `ids`, serially. Every id must have
+    /// been [`ConflictIndex::ensure_with`]'d against the current trunk.
+    pub fn matrix_serial(&mut self, ids: &[ChangeId]) -> ConflictMatrix {
+        let n = ids.len();
+        let bits: Vec<&BitSet> = ids
+            .iter()
+            .map(|&id| self.bits(id).expect("matrix over ensured entries"))
+            .collect();
+        let mut m = ConflictMatrix::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if bits[i].intersects(bits[j]) {
+                    m.set(i, j);
+                }
+            }
+        }
+        self.stats.pairs_checked += (n * n.saturating_sub(1) / 2) as u64;
+        m
+    }
+
+    /// The same matrix, with rows partitioned across `threads` scoped
+    /// worker threads. Each worker fills a contiguous, word-disjoint
+    /// block of rows and workers are joined in partition order, so the
+    /// result is byte-identical to [`ConflictIndex::matrix_serial`]
+    /// whatever the interleaving. Wall time lands in
+    /// [`IndexStats::parallel_nanos`] only.
+    pub fn matrix_parallel(&mut self, ids: &[ChangeId], threads: usize) -> ConflictMatrix {
+        let n = ids.len();
+        let threads = threads.clamp(1, n.max(1));
+        let bits: Vec<&BitSet> = ids
+            .iter()
+            .map(|&id| self.bits(id).expect("matrix over ensured entries"))
+            .collect();
+        let start = std::time::Instant::now();
+        let mut m = ConflictMatrix::new(n);
+        let wpr = m.words_per_row;
+        let chunk_rows = n.div_ceil(threads);
+        let bits = &bits;
+        let row_blocks: Vec<Vec<u64>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = (t * chunk_rows).min(n);
+                    let hi = ((t + 1) * chunk_rows).min(n);
+                    scope.spawn(move |_| {
+                        let mut block = vec![0u64; hi.saturating_sub(lo) * wpr];
+                        for i in lo..hi {
+                            for j in (i + 1)..n {
+                                if bits[i].intersects(bits[j]) {
+                                    block[(i - lo) * wpr + j / 64] |= 1u64 << (j % 64);
+                                }
+                            }
+                        }
+                        block
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("matrix worker panicked"))
+                .collect()
+        })
+        .expect("matrix scope panicked");
+        // Merge in partition (= row, = change-id) order: deterministic.
+        for (t, block) in row_blocks.into_iter().enumerate() {
+            if block.is_empty() {
+                continue;
+            }
+            let lo = t * chunk_rows;
+            m.words[lo * wpr..lo * wpr + block.len()].copy_from_slice(&block);
+        }
+        self.stats.pairs_checked += (n * n.saturating_sub(1) / 2) as u64;
+        self.stats.parallel_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        m
+    }
+}
+
+/// A symmetric pairwise conflict matrix over a window of n changes,
+/// stored as the strict upper triangle in row-major, word-padded rows
+/// (so parallel row writers touch disjoint words).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictMatrix {
+    n: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl ConflictMatrix {
+    /// An all-independent matrix over `n` changes.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        ConflictMatrix {
+            n,
+            words_per_row,
+            words: vec![0; n * words_per_row],
+        }
+    }
+
+    /// Window size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Mark the pair `(i, j)` with `i < j` as conflicting.
+    pub fn set(&mut self, i: usize, j: usize) {
+        debug_assert!(i < j && j < self.n);
+        self.words[i * self.words_per_row + j / 64] |= 1u64 << (j % 64);
+    }
+
+    /// Whether changes `i` and `j` conflict (symmetric; `i == j` is
+    /// false by convention).
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        if i == j {
+            return false;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        self.words[i * self.words_per_row + j / 64] & (1u64 << (j % 64)) != 0
+    }
+
+    /// Number of conflicting pairs.
+    pub fn conflict_count(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Canonical byte serialization: the window size followed by the
+    /// packed rows, little-endian. Two matrices over the same window are
+    /// equal iff their bytes are equal — this is what the benchmark's
+    /// cross-mode determinism gate compares.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.words.len() * 8);
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u64) -> Vec<ChangeId> {
+        (0..n).map(ChangeId).collect()
+    }
+
+    /// Change k's bitset: parts {k, k+1} — consecutive ids conflict.
+    fn chain_bits(id: ChangeId) -> BitSet {
+        [id.0 as u32, id.0 as u32 + 1].into_iter().collect()
+    }
+
+    fn ensured_index(n: u64) -> ConflictIndex {
+        let mut ix = ConflictIndex::new(TrunkHash(1));
+        for id in ids(n) {
+            ix.ensure_with(id, || chain_bits(id));
+        }
+        ix
+    }
+
+    #[test]
+    fn hits_and_misses_follow_the_invalidation_rule() {
+        let mut ix = ConflictIndex::new(TrunkHash(1));
+        let a = ChangeId(7);
+        ix.ensure_with(a, || chain_bits(a));
+        ix.ensure_with(a, || panic!("second lookup must hit"));
+        assert_eq!((ix.stats().cache_hits, ix.stats().cache_misses), (1, 1));
+
+        // Trunk advance: stale, recompute.
+        ix.advance_trunk(TrunkHash(2));
+        assert!(ix.bits(a).is_none(), "stale entry is invisible");
+        ix.ensure_with(a, || chain_bits(a));
+        assert_eq!((ix.stats().cache_hits, ix.stats().cache_misses), (1, 2));
+
+        // Rebase: explicit invalidation, recompute.
+        ix.invalidate(a);
+        ix.ensure_with(a, || chain_bits(a));
+        assert_eq!((ix.stats().cache_hits, ix.stats().cache_misses), (1, 3));
+
+        // Resolution: forgotten for good.
+        ix.forget(a);
+        assert!(ix.bits(a).is_none());
+    }
+
+    #[test]
+    fn pair_conflict_is_bitset_intersection_and_conservative_on_misses() {
+        let mut ix = ensured_index(4);
+        assert!(ix.pair_conflict(ChangeId(0), ChangeId(1)), "share part 1");
+        assert!(!ix.pair_conflict(ChangeId(0), ChangeId(2)), "disjoint");
+        // Unknown change: conservative conflict.
+        assert!(ix.pair_conflict(ChangeId(0), ChangeId(99)));
+        assert_eq!(ix.stats().pairs_checked, 3);
+    }
+
+    #[test]
+    fn parallel_matrix_is_byte_identical_to_serial_for_any_thread_count() {
+        let n = 33; // not a multiple of any chunk size
+        let serial = ensured_index(n).matrix_serial(&ids(n));
+        for threads in [1, 2, 3, 8, 64] {
+            let par = ensured_index(n).matrix_parallel(&ids(n), threads);
+            assert_eq!(par.to_bytes(), serial.to_bytes(), "threads = {threads}");
+        }
+        // The chain structure: exactly n-1 conflicting pairs.
+        assert_eq!(serial.conflict_count(), n - 1);
+        assert!(serial.get(0, 1) && serial.get(1, 0), "symmetric accessor");
+        assert!(!serial.get(0, 2) && !serial.get(0, 0));
+        // Serial batches leave parallel wall time untouched.
+        let mut ix = ensured_index(n);
+        ix.matrix_serial(&ids(n));
+        assert_eq!(ix.stats().parallel_nanos, 0);
+        assert_eq!(
+            ix.stats().pairs_checked,
+            n * (n - 1) / 2,
+            "whole window counted"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_windows_are_fine() {
+        let mut ix = ensured_index(1);
+        let m0 = ix.matrix_parallel(&[], 8);
+        assert!(m0.is_empty());
+        assert_eq!(m0.to_bytes(), ConflictMatrix::new(0).to_bytes());
+        let m1 = ix.matrix_parallel(&ids(1), 8);
+        assert_eq!(m1.len(), 1);
+        assert_eq!(m1.conflict_count(), 0);
+    }
+
+    #[test]
+    fn stats_export_under_the_analyzer_namespace() {
+        let mut ix = ensured_index(3);
+        ix.pair_conflict(ChangeId(0), ChangeId(1));
+        let mut metrics = MetricsRegistry::new();
+        ix.stats().record_into(&mut metrics);
+        assert_eq!(metrics.counter("analyzer.cache_misses"), 3);
+        assert_eq!(metrics.counter("analyzer.pairs_checked"), 1);
+        assert_eq!(metrics.gauge("analyzer.parallel_ms"), Some(0.0));
+    }
+}

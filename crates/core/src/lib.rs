@@ -21,6 +21,9 @@
 //! * [`analyzer`] — the conflict graph over pending changes (Section 5),
 //!   backed either by the statistical part-overlap model (simulation) or
 //!   by the real build-system analyzer from `sq-build`.
+//! * [`index`] — the incremental conflict index: per-change affected
+//!   bitsets memoized by (change, trunk), invalidated only on trunk
+//!   advance or rebase, with a deterministic parallel pairwise matrix.
 //! * [`speculation`] — the speculation engine (Section 4): build values
 //!   `V = B · P_needed` per Equations 1–5, and greedy best-first
 //!   selection of the most valuable builds in O(n) frontier space
@@ -52,6 +55,7 @@ pub mod analyzer;
 pub mod audit;
 pub mod batching;
 pub mod durable;
+pub mod index;
 pub mod pending;
 pub mod planner;
 pub mod predict;
@@ -61,8 +65,9 @@ pub mod speculation;
 pub mod strategy;
 pub mod trunk;
 
-pub use analyzer::{ConflictAnalyzer, ConflictGraph};
+pub use analyzer::{ConflictAnalyzer, ConflictGraph, IndexedAnalyzer, RealAnalyzer};
 pub use durable::{DurableState, DurableSubmitQueue, ServiceEvent};
+pub use index::{ConflictIndex, ConflictMatrix, IndexStats, TrunkHash};
 pub use pending::{ChangeOutcome, ChangeRecord};
 pub use planner::{run_simulation, PlannerConfig, SimResult};
 pub use predict::{LearnedPredictor, OraclePredictor, Predictor};

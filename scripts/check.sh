@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus lint checks. Run from the repository root.
 #
-#   scripts/check.sh          # everything
+#   scripts/check.sh          # everything (what CI runs)
+#   scripts/check.sh --quick  # release build + root-package tests only
 #
 # The build is fully offline: all external dependencies resolve to the
 # API-compatible stand-ins under vendor/ (see vendor/README.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+quick=0
+case "${1:-}" in
+  --quick) quick=1 ;;
+  "") ;;
+  *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+esac
+
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q (root package: integration + property suites)"
-cargo test -q
+if [[ "$quick" == 1 ]]; then
+  echo "==> cargo test -q (root package: integration + property suites)"
+  cargo test -q
+  echo "Quick checks passed."
+  exit 0
+fi
 
-echo "==> cargo test -q --test chaos_recovery (fault injection: green mainline, no wrongful rejections, reproducible histories)"
-cargo test -q --test chaos_recovery
-
+# The workspace run already covers the root package (unit, integration
+# including chaos_recovery, property and doc tests) — running
+# `cargo test -q` first would execute all of those twice.
 echo "==> cargo test --workspace -q (every crate, including vendor shims)"
 cargo test --workspace -q
 
@@ -35,5 +47,8 @@ cargo run --release -p sq-bench --bin bench_e2e -- --smoke
 
 echo "==> bench_recovery --smoke (durable store: replay throughput + byte-identical recovery)"
 cargo run --release -p sq-bench --bin bench_recovery -- --smoke
+
+echo "==> bench_conflict --smoke (perf gate: indexed+parallel <= serial, byte-identical matrices)"
+cargo run --release -p sq-bench --bin bench_conflict -- --smoke
 
 echo "All checks passed."
