@@ -1,0 +1,127 @@
+//! The adversarial scenario matrix, machine-readable.
+//!
+//! Runs every named scenario (baseline, revert-storm, flaky-cluster,
+//! hub-touch, diurnal-spike) through every scheduling strategy, audits
+//! each run, and writes one JSON document per scenario plus the combined
+//! matrix document.
+//!
+//! Default mode runs the recorded full-duration configuration and writes
+//! `results/BENCH_scenarios.json` (+ `results/scenarios/<name>.json`)
+//! under the repository root; `--out <path>` overrides the matrix
+//! destination (how the committed trajectory at the repo root is
+//! refreshed: `bench_scenarios --out BENCH_scenarios.json`). `--smoke`
+//! runs a small configuration, writes under `target/figures/`, and exits
+//! nonzero unless every scenario × strategy is always-green with zero
+//! wrongful rejections and a same-seed rerun reproduces the matrix
+//! document byte for byte.
+
+use sq_bench::scenarios::{
+    matrix_json, run_matrix, scenario_json, validate, violations, ScenarioBenchParams,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_override = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("[bench_scenarios] FAIL: --out requires a path argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+    let params = if smoke {
+        ScenarioBenchParams::smoke()
+    } else {
+        ScenarioBenchParams::standard()
+    };
+    println!(
+        "[bench_scenarios] {} run: seed={} history={}{}",
+        if smoke { "smoke" } else { "standard" },
+        params.seed,
+        params.history_changes,
+        params
+            .n_changes_override
+            .map(|n| format!(" changes/scenario={n}"))
+            .unwrap_or_else(|| " (full configured durations)".into()),
+    );
+
+    let runs = run_matrix(&params);
+    for run in &runs {
+        let clean = run.outcomes.iter().all(|o| o.clean());
+        println!(
+            "[bench_scenarios]   {:14} {} strategies, {}",
+            run.manifest.name,
+            run.outcomes.len(),
+            if clean { "all clean" } else { "VIOLATIONS" },
+        );
+    }
+
+    let problems = violations(&runs);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("[bench_scenarios] FAIL: {p}");
+        }
+        std::process::exit(1);
+    }
+
+    let doc = matrix_json(&params, &runs);
+    if let Err(e) = validate(&doc) {
+        eprintln!("[bench_scenarios] FAIL: emitted matrix document is invalid: {e}");
+        std::process::exit(1);
+    }
+    if smoke {
+        // Determinism gate: a same-seed rerun must reproduce the matrix
+        // document byte for byte.
+        let rerun = matrix_json(&params, &run_matrix(&params));
+        if rerun != doc {
+            eprintln!("[bench_scenarios] FAIL: same-seed rerun diverged from the first run");
+            std::process::exit(1);
+        }
+        println!("[bench_scenarios] same-seed rerun is byte-identical");
+    }
+
+    let base = if smoke {
+        sq_bench::figures_dir()
+    } else {
+        repo_root().join("results")
+    };
+    let scenario_dir = base.join("scenarios");
+    std::fs::create_dir_all(&scenario_dir).expect("create scenario output directory");
+    for run in &runs {
+        let path = scenario_dir.join(format!("{}.json", run.manifest.name));
+        std::fs::write(&path, scenario_json(run)).expect("write scenario JSON");
+        println!("[bench_scenarios] wrote {}", path.display());
+    }
+    let matrix_path = match out_override {
+        Some(out) => {
+            let p = PathBuf::from(out);
+            if p.is_absolute() {
+                p
+            } else {
+                repo_root().join(p)
+            }
+        }
+        None if smoke => base.join("BENCH_scenarios_smoke.json"),
+        None => base.join("BENCH_scenarios.json"),
+    };
+    if let Some(dir) = matrix_path.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&matrix_path, &doc).expect("write matrix JSON");
+    println!(
+        "[bench_scenarios] ok: wrote {} ({} bytes)",
+        matrix_path.display(),
+        doc.len()
+    );
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench/ -> crates/ -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf()
+}

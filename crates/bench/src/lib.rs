@@ -18,6 +18,7 @@
 //! | `graph_change_rate` | §5.2: fraction of changes altering the build graph  |
 //! | `bench_e2e`         | machine-readable end-to-end JSON (`BENCH_e2e.json`) |
 //! | `bench_conflict`    | §5.2 conflict index: serial vs indexed vs parallel  |
+//! | `bench_scenarios`   | adversarial scenario matrix (`BENCH_scenarios.json`)|
 //!
 //! Every binary prints the series to stdout and writes a CSV to
 //! `target/figures/`. Environment knobs: `SQ_BENCH_HOURS` (simulated
@@ -31,6 +32,7 @@
 
 pub mod conflict;
 pub mod e2e;
+pub mod scenarios;
 
 use sq_core::planner::{run_simulation, PlannerConfig, SimResult};
 use sq_core::predict::LearnedPredictor;

@@ -86,6 +86,33 @@ pub fn audit_rejections_justified(workload: &Workload, result: &SimResult) -> Re
     Ok(())
 }
 
+/// Count the wrongful rejections in a finished run: changes that pass
+/// alone and conflict with nothing that landed in their window, yet were
+/// rejected anyway. [`audit_rejections_justified`] is the all-or-nothing
+/// form; the scenario matrix reports (and gates on) this count.
+pub fn count_wrongful_rejections(workload: &Workload, result: &SimResult) -> usize {
+    let truth = workload.truth();
+    let committed: HashSet<ChangeId> = result.commit_log.iter().copied().collect();
+    let resolved_at: HashMap<ChangeId, SimTime> =
+        result.records.iter().map(|r| (r.id, r.resolved)).collect();
+    result
+        .records
+        .iter()
+        .filter(|rec| {
+            if committed.contains(&rec.id) {
+                return false;
+            }
+            let c = &workload.changes[rec.id.0 as usize];
+            truth.succeeds_alone(c)
+                && !result.commit_log.iter().any(|&d_id| {
+                    let d = &workload.changes[d_id.0 as usize];
+                    let d_committed = resolved_at.get(&d_id).copied().unwrap_or(SimTime::ZERO);
+                    c.submit_time < d_committed && truth.real_conflict(c, d)
+                })
+        })
+        .count()
+}
+
 /// Surface a run's recovery picture next to the greenness audits: infra
 /// retries, charged backoff, and the quarantine list of chronically
 /// flaky changes.
@@ -238,14 +265,17 @@ mod tests {
     #[test]
     fn rejecting_a_good_unconflicted_change_fails_the_justification_audit() {
         let w = workload(50, 6);
-        assert!(
-            w.changes.iter().any(|c| c.intrinsic_success),
-            "workload has a passing change"
-        );
+        let good = w.changes.iter().filter(|c| c.intrinsic_success).count();
+        assert!(good > 0, "workload has a passing change");
         // Nothing commits, so every intrinsically-good rejection is
         // unjustified (no conflicting landing can explain it).
         let err = audit_rejections_justified(&w, &result_with(&w, vec![])).unwrap_err();
         assert!(err.contains("wrongly rejected"), "err = {err}");
+        // The counting form agrees with the all-or-nothing form.
+        assert_eq!(
+            count_wrongful_rejections(&w, &result_with(&w, vec![])),
+            good
+        );
     }
 
     #[test]

@@ -40,6 +40,9 @@
 //!   independent changes to save hardware).
 //! * [`audit`] — ground-truth greenness audits (the "always green"
 //!   invariant is checked, not assumed).
+//! * [`scenario`] — the adversarial scenario-matrix runner: replays
+//!   named `sq-workload` manifests through every strategy and audits
+//!   each run.
 //! * [`service`] — an embeddable `SubmitQueueService` that runs the full
 //!   stack (real conflict analyzer, real executor) over a materialized
 //!   repository.
@@ -60,6 +63,7 @@ pub mod pending;
 pub mod planner;
 pub mod predict;
 pub mod recovery;
+pub mod scenario;
 pub mod service;
 pub mod speculation;
 pub mod strategy;
@@ -72,6 +76,7 @@ pub use pending::{ChangeOutcome, ChangeRecord};
 pub use planner::{run_simulation, PlannerConfig, SimResult};
 pub use predict::{LearnedPredictor, OraclePredictor, Predictor};
 pub use recovery::{QuarantineList, RecoveryConfig, RecoveryEvent, RecoveryLog};
+pub use scenario::{run_scenario, ScenarioRun, StrategyOutcome};
 pub use service::{HistoryViolation, SubmitQueueService, TicketId, TicketState};
 pub use speculation::{BuildKey, SpeculationEngine};
 pub use strategy::StrategyKind;

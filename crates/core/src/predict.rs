@@ -142,13 +142,17 @@ impl LearnedPredictor {
         let mut data = Dataset::new(SUCCESS_FEATURES.iter().map(|s| s.to_string()).collect());
         for c in &history.changes {
             let dev = history.developer(c.developer);
+            // The label comes from the oracle, not the raw intrinsic
+            // coin, so part-correlated flaky-test failures (adversarial
+            // scenarios) are part of the signal the model learns.
+            let label = truth.succeeds_alone(c);
             // Synthetic dynamic counters, correlated with the outcome.
-            let (ok, fail) = if c.intrinsic_success {
+            let (ok, fail) = if label {
                 (rng.next_below(4) as u32 + 1, rng.next_below(2) as u32)
             } else {
                 (rng.next_below(2) as u32, rng.next_below(4) as u32 + 1)
             };
-            data.push(success_features(c, dev, ok, fail), c.intrinsic_success);
+            data.push(success_features(c, dev, ok, fail), label);
         }
         let split = data.split(0.7, &mut rng);
         let scaler = Scaler::fit(&split.train);

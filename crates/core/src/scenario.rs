@@ -1,0 +1,153 @@
+//! Scenario-matrix runner.
+//!
+//! Replays a named [`ScenarioManifest`] through every scheduling
+//! strategy in [`StrategyKind::all`] — the same list, so a strategy
+//! added there automatically joins every scenario matrix — and audits
+//! each run against the ground truth: the always-green invariant
+//! ([`audit_green`]) and rejection justification
+//! ([`audit_rejections_justified`], with the wrongful count surfaced for
+//! reports). The SubmitQueue predictor trains on a disjoint history
+//! drawn from the *same* adversarial generative process, so flaky-test
+//! clusters and hub touches are part of what the models learn.
+
+use crate::audit::{audit_green, audit_rejections_justified, count_wrongful_rejections};
+use crate::planner::{run_simulation, PlannerConfig, SimFaults, SimResult};
+use crate::strategy::{Strategy, StrategyKind};
+use sq_workload::{ScenarioManifest, Workload, WorkloadBuilder};
+
+/// Seed offset separating the training history from the replayed trace.
+const HISTORY_SALT: u64 = 0xA11CE;
+
+/// One strategy's audited run through a scenario.
+#[derive(Debug)]
+pub struct StrategyOutcome {
+    /// Which strategy ran.
+    pub kind: StrategyKind,
+    /// The finished simulation.
+    pub result: SimResult,
+    /// Always-green audit verdict.
+    pub green: Result<(), String>,
+    /// Rejection-justification audit verdict.
+    pub rejections_justified: Result<(), String>,
+    /// Number of wrongful rejections (zero whenever
+    /// `rejections_justified` is `Ok`).
+    pub wrongful_rejections: usize,
+}
+
+impl StrategyOutcome {
+    /// Did this run clear both audits with nothing wrongfully rejected?
+    pub fn clean(&self) -> bool {
+        self.green.is_ok() && self.rejections_justified.is_ok() && self.wrongful_rejections == 0
+    }
+}
+
+/// A fully-run, fully-audited scenario.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The manifest that was replayed.
+    pub manifest: ScenarioManifest,
+    /// Seed of the replayed trace (history uses a salted seed).
+    pub seed: u64,
+    /// The generated workload.
+    pub workload: Workload,
+    /// One audited outcome per entry of [`StrategyKind::all`].
+    pub outcomes: Vec<StrategyOutcome>,
+}
+
+impl ScenarioRun {
+    /// The first audit violation across all strategies, if any.
+    pub fn first_violation(&self) -> Option<String> {
+        self.outcomes.iter().find_map(|o| {
+            let problem = match (&o.green, &o.rejections_justified) {
+                (Err(e), _) => Some(("green", e.clone())),
+                (_, Err(e)) => Some(("rejections", e.clone())),
+                _ => None,
+            }?;
+            Some(format!(
+                "{} / {}: {} audit failed: {}",
+                self.manifest.name,
+                o.kind.name(),
+                problem.0,
+                problem.1
+            ))
+        })
+    }
+}
+
+/// Replay `manifest` through every strategy with `n_changes` changes
+/// (pass [`ScenarioManifest::n_changes`] for the configured duration)
+/// and a disjoint `history_changes`-sized training workload.
+pub fn run_scenario(
+    manifest: &ScenarioManifest,
+    seed: u64,
+    n_changes: usize,
+    history_changes: usize,
+) -> Result<ScenarioRun, String> {
+    let params = manifest.params()?;
+    let workload = manifest.workload(seed, n_changes)?;
+    let history = WorkloadBuilder::new(params)
+        .seed(seed ^ HISTORY_SALT)
+        .n_changes(history_changes)
+        .build()?;
+    let config = PlannerConfig {
+        workers: manifest.workers,
+        faults: (manifest.infra_fault_rate > 0.0)
+            .then(|| SimFaults::at_rate(manifest.infra_fault_rate, seed)),
+        ..PlannerConfig::default()
+    };
+    let outcomes: Vec<StrategyOutcome> = StrategyKind::all()
+        .into_iter()
+        .map(|kind| {
+            let strategy = Strategy::build(kind, &workload, Some(&history));
+            let result = run_simulation(&workload, &strategy, &config);
+            let green = audit_green(&workload, &result);
+            let rejections_justified = audit_rejections_justified(&workload, &result);
+            let wrongful_rejections = count_wrongful_rejections(&workload, &result);
+            StrategyOutcome {
+                kind,
+                result,
+                green,
+                rejections_justified,
+                wrongful_rejections,
+            }
+        })
+        .collect();
+    debug_assert_eq!(outcomes.len(), StrategyKind::COUNT);
+    Ok(ScenarioRun {
+        manifest: manifest.clone(),
+        seed,
+        workload,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_scenario_runs_every_strategy_clean() {
+        let run = run_scenario(&ScenarioManifest::baseline(), 3, 40, 400).unwrap();
+        assert_eq!(run.outcomes.len(), StrategyKind::COUNT);
+        let kinds: Vec<StrategyKind> = run.outcomes.iter().map(|o| o.kind).collect();
+        assert_eq!(kinds, StrategyKind::all().to_vec());
+        for o in &run.outcomes {
+            assert!(
+                o.clean(),
+                "{}: {:?} {:?}",
+                o.kind.name(),
+                o.green,
+                o.rejections_justified
+            );
+            assert_eq!(o.result.records.len(), 40);
+        }
+        assert!(run.first_violation().is_none());
+    }
+
+    #[test]
+    fn invalid_manifest_is_rejected_up_front() {
+        let mut m = ScenarioManifest::baseline();
+        m.workers = 0;
+        assert!(run_scenario(&m, 1, 10, 50).is_err());
+    }
+}

@@ -50,8 +50,14 @@ impl StrategyKind {
         }
     }
 
+    /// Number of strategies. The single source of truth for matrix
+    /// sizing: [`StrategyKind::all`] returns exactly this many entries,
+    /// so scenario/benchmark matrices sized or checked against `COUNT`
+    /// cannot silently drop a newly added strategy.
+    pub const COUNT: usize = 5;
+
     /// All strategies, in the paper's reporting order.
-    pub fn all() -> [StrategyKind; 5] {
+    pub fn all() -> [StrategyKind; Self::COUNT] {
         [
             StrategyKind::SubmitQueue,
             StrategyKind::Oracle,

@@ -232,6 +232,62 @@ impl Distribution for Bernoulli {
     }
 }
 
+/// The Poisson distribution over event counts with mean `lambda`.
+///
+/// Knuth's product-of-uniforms method for small `λ`; above 30 a normal
+/// approximation (clamped at zero) keeps the cost bounded.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create from the mean count. Panics if `lambda` is negative or not
+    /// finite (zero is allowed: the count is then always zero).
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "poisson mean must be non-negative, got {lambda}"
+        );
+        Poisson { lambda }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draw a count directly.
+    pub fn draw(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        if self.lambda <= 0.0 {
+            return 0;
+        }
+        if self.lambda > 30.0 {
+            // Normal approximation via Box–Muller, clamped at zero.
+            let u1 = rng.next_f64().max(1e-12);
+            let u2 = rng.next_f64();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            return (self.lambda + z * self.lambda.sqrt()).round().max(0.0) as u64;
+        }
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+impl Distribution for Poisson {
+    fn sample(&self, rng: &mut Xoshiro256StarStar) -> f64 {
+        self.draw(rng) as f64
+    }
+}
+
 /// Walker's alias method: O(1) sampling from a fixed discrete distribution
 /// after O(n) preprocessing.
 ///
@@ -487,5 +543,25 @@ mod tests {
     #[should_panic]
     fn alias_table_rejects_all_zero() {
         AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn poisson_mean_and_determinism() {
+        let mut r = rng();
+        let n = 20_000;
+        let small = Poisson::new(4.5);
+        let mean: f64 = (0..n).map(|_| small.draw(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.5).abs() < 0.1, "mean = {mean}");
+        // Large-lambda branch (normal approximation).
+        let big = Poisson::new(60.0);
+        let mean_big: f64 = (0..n).map(|_| big.draw(&mut r) as f64).sum::<f64>() / n as f64;
+        assert!((mean_big - 60.0).abs() < 1.0, "mean = {mean_big}");
+        // Zero mean never fires, and same-seed streams agree.
+        assert_eq!(Poisson::new(0.0).draw(&mut r), 0);
+        let mut a = Xoshiro256StarStar::seed_from_u64(9);
+        let mut b = Xoshiro256StarStar::seed_from_u64(9);
+        let va: Vec<u64> = (0..64).map(|_| small.draw(&mut a)).collect();
+        let vb: Vec<u64> = (0..64).map(|_| small.draw(&mut b)).collect();
+        assert_eq!(va, vb);
     }
 }

@@ -10,7 +10,140 @@ use crate::change::ChangeSpec;
 use crate::generate::WorkloadBuilder;
 use crate::params::WorkloadParams;
 use crate::truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+use sq_sim::dist::Poisson;
 use sq_sim::Xoshiro256StarStar;
+
+/// The shape of the arrival process over simulated time.
+///
+/// [`Constant`](ArrivalCurve::Constant) is the paper's controlled-replay
+/// setting: a homogeneous Poisson process at `changes_per_hour`.
+/// [`Diurnal`](ArrivalCurve::Diurnal) models rush-hour traffic: each
+/// `period_hours`-long cycle opens with a peak window covering
+/// `peak_fraction` of the period during which the instantaneous rate is
+/// `peak_multiplier ×` the configured mean; the off-peak level is scaled
+/// down so the *period-averaged* rate still equals `changes_per_hour`
+/// (so sweeps against a constant-rate baseline compare like for like).
+///
+/// Generation draws the non-homogeneous process by Poisson thinning
+/// (Lewis–Shedler): candidates arrive at the peak rate and survive with
+/// probability `rate(t) / peak_rate` — exact, and a deterministic
+/// function of the arrival RNG stream.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalCurve {
+    /// Homogeneous Poisson arrivals at the configured mean rate.
+    #[default]
+    Constant,
+    /// Periodic spikes: `peak_multiplier ×` the mean rate during the
+    /// first `peak_fraction` of every `period_hours` cycle.
+    Diurnal {
+        /// Instantaneous rate during the peak window, as a multiple of
+        /// the configured mean rate (the paper-adjacent adversarial
+        /// setting uses 5–10×).
+        peak_multiplier: f64,
+        /// Fraction of each period spent at the peak rate, in (0, 1).
+        peak_fraction: f64,
+        /// Cycle length in hours.
+        period_hours: f64,
+    },
+}
+
+impl ArrivalCurve {
+    /// Is this the homogeneous (no-thinning) process?
+    pub fn is_constant(&self) -> bool {
+        matches!(self, ArrivalCurve::Constant)
+    }
+
+    /// Sanity-check the shape parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ArrivalCurve::Constant => Ok(()),
+            ArrivalCurve::Diurnal {
+                peak_multiplier,
+                peak_fraction,
+                period_hours,
+            } => {
+                if !(peak_multiplier.is_finite() && peak_multiplier > 1.0) {
+                    return Err("diurnal peak_multiplier must exceed 1".into());
+                }
+                if !(0.0..1.0).contains(&peak_fraction) || peak_fraction <= 0.0 {
+                    return Err("diurnal peak_fraction must be in (0, 1)".into());
+                }
+                if peak_fraction * peak_multiplier >= 1.0 {
+                    return Err("diurnal peak_fraction × peak_multiplier must stay below 1 \
+                         (off-peak rate would go negative)"
+                        .into());
+                }
+                if !(period_hours.is_finite() && period_hours > 0.0) {
+                    return Err("diurnal period_hours must be positive".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Rate multiplier at simulated time `t_hours` (mean over one full
+    /// period is exactly 1).
+    pub fn multiplier_at(&self, t_hours: f64) -> f64 {
+        match *self {
+            ArrivalCurve::Constant => 1.0,
+            ArrivalCurve::Diurnal {
+                peak_multiplier,
+                peak_fraction,
+                period_hours,
+            } => {
+                let phase = t_hours.rem_euclid(period_hours);
+                if phase < peak_fraction * period_hours {
+                    peak_multiplier
+                } else {
+                    off_peak(peak_multiplier, peak_fraction)
+                }
+            }
+        }
+    }
+
+    /// The largest multiplier the curve reaches (the thinning envelope).
+    pub fn max_multiplier(&self) -> f64 {
+        match *self {
+            ArrivalCurve::Constant => 1.0,
+            ArrivalCurve::Diurnal {
+                peak_multiplier, ..
+            } => peak_multiplier,
+        }
+    }
+
+    /// Exact integral of the multiplier over `[0, hours]`. Dividing by
+    /// `hours` gives the average multiplier; over whole periods it is
+    /// exactly `hours` (the normalization the regression tests pin).
+    pub fn integral_multiplier(&self, hours: f64) -> f64 {
+        assert!(hours >= 0.0);
+        match *self {
+            ArrivalCurve::Constant => hours,
+            ArrivalCurve::Diurnal {
+                peak_multiplier,
+                peak_fraction,
+                period_hours,
+            } => {
+                let full_periods = (hours / period_hours).floor();
+                let remainder = hours - full_periods * period_hours;
+                let peak_len = peak_fraction * period_hours;
+                let partial = if remainder <= peak_len {
+                    remainder * peak_multiplier
+                } else {
+                    peak_len * peak_multiplier
+                        + (remainder - peak_len) * off_peak(peak_multiplier, peak_fraction)
+                };
+                full_periods * period_hours + partial
+            }
+        }
+    }
+}
+
+/// Off-peak multiplier making the period-average exactly 1:
+/// `f·m + (1−f)·off = 1`.
+fn off_peak(peak_multiplier: f64, peak_fraction: f64) -> f64 {
+    (1.0 - peak_fraction * peak_multiplier) / (1.0 - peak_fraction)
+}
 
 /// Empirical probability that the n-th of `n` concurrent, *potentially
 /// conflicting* changes has a real conflict with at least one of the
@@ -90,12 +223,13 @@ pub fn breakage_vs_staleness(
         .build()
         .expect("params validated by caller");
     let mean_drift = staleness_hours * organic_rate_per_hour;
+    let drift = Poisson::new(mean_drift);
     let mut broken = 0usize;
     for t in 0..trials {
         // Subject: a pseudo-random pool member.
         let subject = &w.changes[(rng.next_below(w.changes.len() as u64)) as usize];
         // Drift count: Poisson(mean_drift) via inversion (small means).
-        let k = poisson(mean_drift, &mut rng);
+        let k = drift.draw(&mut rng) as usize;
         let mut conflict = false;
         for _ in 0..k {
             let other = &w.changes[(rng.next_below(w.changes.len() as u64)) as usize];
@@ -110,31 +244,6 @@ pub fn breakage_vs_staleness(
         }
     }
     broken as f64 / trials.max(1) as f64
-}
-
-/// Sample a Poisson(λ) count. Knuth's method for small λ, normal
-/// approximation above 30 (drift counts stay small in practice).
-fn poisson(lambda: f64, rng: &mut Xoshiro256StarStar) -> usize {
-    if lambda <= 0.0 {
-        return 0;
-    }
-    if lambda > 30.0 {
-        // Normal approximation, clamped at zero.
-        let u1 = rng.next_f64().max(1e-12);
-        let u2 = rng.next_f64();
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        return (lambda + z * lambda.sqrt()).round().max(0.0) as usize;
-    }
-    let l = (-lambda).exp();
-    let mut k = 0usize;
-    let mut p = 1.0;
-    loop {
-        p *= rng.next_f64();
-        if p <= l {
-            return k;
-        }
-        k += 1;
-    }
 }
 
 #[cfg(test)]
@@ -179,13 +288,46 @@ mod tests {
     }
 
     #[test]
-    fn poisson_mean() {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
-        let n = 20_000;
-        let mean: f64 = (0..n).map(|_| poisson(4.5, &mut rng) as f64).sum::<f64>() / n as f64;
-        assert!((mean - 4.5).abs() < 0.1, "mean = {mean}");
-        // Large-lambda branch.
-        let mean_big: f64 = (0..n).map(|_| poisson(60.0, &mut rng) as f64).sum::<f64>() / n as f64;
-        assert!((mean_big - 60.0).abs() < 1.0, "mean = {mean_big}");
+    fn diurnal_curve_averages_to_one() {
+        let c = ArrivalCurve::Diurnal {
+            peak_multiplier: 6.0,
+            peak_fraction: 0.1,
+            period_hours: 8.0,
+        };
+        c.validate().unwrap();
+        // Peak level is the configured multiple of the mean; off-peak
+        // compensates so the period-average multiplier is exactly 1.
+        assert_eq!(c.multiplier_at(0.1), 6.0);
+        assert!(c.multiplier_at(4.0) < 1.0);
+        assert!((c.integral_multiplier(8.0) - 8.0).abs() < 1e-12);
+        assert!((c.integral_multiplier(24.0) - 24.0).abs() < 1e-12);
+        // Mid-period partial integrals follow the piecewise shape.
+        assert!((c.integral_multiplier(0.4) - 2.4).abs() < 1e-12);
+        assert!(c.max_multiplier() == 6.0);
+        // The curve is periodic.
+        assert_eq!(c.multiplier_at(0.2), c.multiplier_at(8.2));
+    }
+
+    #[test]
+    fn arrival_curve_validation() {
+        assert!(ArrivalCurve::Constant.validate().is_ok());
+        let bad = ArrivalCurve::Diurnal {
+            peak_multiplier: 6.0,
+            peak_fraction: 0.3, // 0.3 × 6 ≥ 1: off-peak would be negative
+            period_hours: 8.0,
+        };
+        assert!(bad.validate().is_err());
+        let bad = ArrivalCurve::Diurnal {
+            peak_multiplier: 0.5,
+            peak_fraction: 0.1,
+            period_hours: 8.0,
+        };
+        assert!(bad.validate().is_err());
+        let bad = ArrivalCurve::Diurnal {
+            peak_multiplier: 6.0,
+            peak_fraction: 0.1,
+            period_hours: 0.0,
+        };
+        assert!(bad.validate().is_err());
     }
 }

@@ -37,9 +37,11 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// The ground-truth oracle for this workload.
+    /// The ground-truth oracle for this workload (carries the flaky-test
+    /// clusters when the adversary plan enables them).
     pub fn truth(&self) -> GroundTruth {
         GroundTruth::new(self.seed, self.params.pairwise_conflict_prob)
+            .with_flaky(self.params.adversary.flaky.clone())
     }
 
     /// The profile of a change's developer.
@@ -55,12 +57,17 @@ impl Workload {
             .unwrap_or(SimTime::ZERO)
     }
 
-    /// Fraction of changes that pass their own build steps in isolation.
+    /// Fraction of changes that pass their own build steps in isolation
+    /// (flaky-cluster failures count against a change).
     pub fn isolated_success_rate(&self) -> f64 {
         if self.changes.is_empty() {
             return 0.0;
         }
-        self.changes.iter().filter(|c| c.intrinsic_success).count() as f64
+        let truth = self.truth();
+        self.changes
+            .iter()
+            .filter(|c| truth.succeeds_alone(c))
+            .count() as f64
             / self.changes.len() as f64
     }
 
@@ -138,6 +145,8 @@ impl WorkloadBuilder {
         let mut duration_rng = master.split();
         let mut shape_rng = master.split();
         let mut outcome_rng = master.split();
+        // Split last so pre-adversary seeds keep their exact traces.
+        let mut adversary_rng = master.split();
 
         // Developer population.
         let n_teams = (params.n_developers / 8).max(1) as u32;
@@ -155,14 +164,29 @@ impl WorkloadBuilder {
             .collect();
 
         let part_table = AliasTable::zipf(params.n_parts, params.part_zipf_s);
-        let arrivals = Exponential::with_mean(3600.0 / params.changes_per_hour);
+        // Non-homogeneous arrival curves are drawn by Poisson thinning:
+        // candidates arrive at the envelope (peak) rate and survive with
+        // probability rate(t)/peak_rate. The constant curve keeps the
+        // plain exponential-gap path — and its exact draw sequence — so
+        // pre-existing seeds replay byte-identical traces.
+        let max_mult = params.arrival.max_multiplier();
+        let arrivals = Exponential::with_mean(3600.0 / (params.changes_per_hour * max_mult));
         let durations = DurationModel::new(&params);
         let files_dist = Pareto::new(1.0, 1.3);
 
         let mut changes = Vec::with_capacity(self.n_changes);
         let mut clock = SimTime::ZERO;
         for i in 0..self.n_changes {
-            clock += SimDuration::from_secs_f64(arrivals.sample(&mut arrival_rng));
+            loop {
+                clock += SimDuration::from_secs_f64(arrivals.sample(&mut arrival_rng));
+                if params.arrival.is_constant() {
+                    break;
+                }
+                let accept = params.arrival.multiplier_at(clock.as_hours_f64()) / max_mult;
+                if arrival_rng.bernoulli(accept) {
+                    break;
+                }
+            }
             let dev = &developers[shape_rng.next_below(developers.len() as u64) as usize];
 
             // Part footprint: geometric count around the configured mean,
@@ -243,12 +267,64 @@ impl WorkloadBuilder {
             });
         }
 
+        apply_adversaries(&params, &mut changes, &mut adversary_rng);
+
         Ok(Workload {
             params,
             seed: self.seed,
             developers,
             changes,
         })
+    }
+}
+
+/// Apply the enabled adversarial post-passes to the generated stream.
+///
+/// Runs on its own RNG split, so a benign plan leaves the trace exactly
+/// as the statistical model drew it. Flaky clusters need no pass here —
+/// they live in [`GroundTruth`], keyed off the final part footprints.
+fn apply_adversaries(
+    params: &WorkloadParams,
+    changes: &mut [ChangeSpec],
+    rng: &mut Xoshiro256StarStar,
+) {
+    if let Some(storm) = &params.adversary.revert_storm {
+        // Epicenters model a just-landed bad change; the burst that
+        // follows re-touches exactly its parts (reverts, fix-forwards,
+        // and "me too" patches), so the concurrent potentially-
+        // conflicting count spikes around the epicenter.
+        let window = SimDuration::from_mins_f64(storm.window_mins);
+        let mut i = 0;
+        while i < changes.len() {
+            if rng.bernoulli(storm.epicenter_prob) {
+                let epicenter_parts = changes[i].parts.clone();
+                let deadline = changes[i].submit_time + window;
+                let end = (i + 1 + storm.burst).min(changes.len());
+                for follower in changes[i + 1..end].iter_mut() {
+                    if follower.submit_time > deadline {
+                        break;
+                    }
+                    follower.parts = epicenter_parts.clone();
+                }
+                i = end; // bursts don't nest
+            } else {
+                i += 1;
+            }
+        }
+    }
+    if let Some(hub) = &params.adversary.hub {
+        // Hub touchers additionally edit the dependency-hub parts — the
+        // hottest Zipf ranks — and so potentially conflict with almost
+        // every concurrent change.
+        for c in changes.iter_mut() {
+            if rng.bernoulli(hub.prob) {
+                for p in 0..hub.span as u32 {
+                    if !c.parts.contains(&PartId(p)) {
+                        c.parts.push(PartId(p));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -448,5 +524,86 @@ mod tests {
         let mut p = WorkloadParams::ios();
         p.n_parts = 0;
         assert!(WorkloadBuilder::new(p).build().is_err());
+    }
+
+    #[test]
+    fn adversaries_never_perturb_the_baseline_streams() {
+        use crate::adversary::{HubTouches, RevertStorm};
+        let baseline = workload(100.0, 400, 91);
+        let mut p = WorkloadParams::ios();
+        p.adversary.revert_storm = Some(RevertStorm {
+            epicenter_prob: 0.1,
+            burst: 5,
+            window_mins: 45.0,
+        });
+        p.adversary.hub = Some(HubTouches {
+            prob: 0.25,
+            span: 3,
+        });
+        let adversarial = WorkloadBuilder::new(p)
+            .seed(91)
+            .n_changes(400)
+            .build()
+            .unwrap();
+        // The adversary passes rewrite part footprints only; every other
+        // stream (arrivals, durations, outcomes, developers) replays the
+        // exact baseline trace thanks to the dedicated RNG split.
+        for (a, b) in baseline.changes.iter().zip(&adversarial.changes) {
+            assert_eq!(a.submit_time, b.submit_time);
+            assert_eq!(a.build_duration, b.build_duration);
+            assert_eq!(a.intrinsic_success, b.intrinsic_success);
+            assert_eq!(a.developer, b.developer);
+        }
+        // And the passes did fire somewhere.
+        assert!(
+            baseline
+                .changes
+                .iter()
+                .zip(&adversarial.changes)
+                .any(|(a, b)| a.parts != b.parts),
+            "adversaries should have rewritten some footprint"
+        );
+    }
+
+    #[test]
+    fn revert_storm_echoes_epicenter_parts() {
+        use crate::adversary::RevertStorm;
+        let mut p = WorkloadParams::ios().with_rate(300.0);
+        p.adversary.revert_storm = Some(RevertStorm {
+            epicenter_prob: 1.0, // every non-burst change is an epicenter
+            burst: 4,
+            window_mins: 600.0,
+        });
+        let w = WorkloadBuilder::new(p)
+            .seed(5)
+            .n_changes(100)
+            .build()
+            .unwrap();
+        // With certain epicenters and a generous window, every burst
+        // member repeats its epicenter's exact footprint.
+        for group in w.changes.chunks(5) {
+            for follower in &group[1..] {
+                assert_eq!(follower.parts, group[0].parts);
+            }
+        }
+    }
+
+    #[test]
+    fn hub_touches_hit_the_hub() {
+        use crate::adversary::HubTouches;
+        let mut p = WorkloadParams::ios();
+        p.adversary.hub = Some(HubTouches { prob: 1.0, span: 2 });
+        let w = WorkloadBuilder::new(p)
+            .seed(7)
+            .n_changes(200)
+            .build()
+            .unwrap();
+        for c in &w.changes {
+            assert!(c.parts.contains(&PartId(0)) && c.parts.contains(&PartId(1)));
+        }
+        // Everything now potentially conflicts with everything.
+        for pair in w.changes.windows(2) {
+            assert!(pair[0].potentially_conflicts(&pair[1]));
+        }
     }
 }

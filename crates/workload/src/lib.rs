@@ -27,10 +27,17 @@
 //! * **materialized** ([`repo_model`]): an actual `sq-vcs` repository
 //!   with BUILD targets and per-change patches, for end-to-end tests that
 //!   exercise the real conflict analyzer.
+//!
+//! Beyond the paper's benign replays, [`adversary`] layers named
+//! pathologies (revert storms, part-correlated flaky-test clusters,
+//! dependency-hub touches) and [`curves::ArrivalCurve`] adds diurnal
+//! rate spikes; [`scenario`] bundles them into serde-backed manifests
+//! forming the CI scenario matrix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod change;
 pub mod curves;
 pub mod duration;
@@ -38,9 +45,13 @@ pub mod features;
 pub mod generate;
 pub mod params;
 pub mod repo_model;
+pub mod scenario;
 pub mod truth;
 
+pub use adversary::{AdversaryPlan, FlakyClusters, HubTouches, RevertStorm};
 pub use change::{ChangeId, ChangeSpec, DevProfile, Platform};
+pub use curves::ArrivalCurve;
 pub use generate::{Workload, WorkloadBuilder};
 pub use params::WorkloadParams;
+pub use scenario::{ParamOverrides, ScenarioManifest};
 pub use truth::GroundTruth;

@@ -3,7 +3,9 @@
 //! Every constant here is traceable to a number the paper publishes; the
 //! presets bundle them per monorepo platform.
 
+use crate::adversary::AdversaryPlan;
 use crate::change::Platform;
+use crate::curves::ArrivalCurve;
 use serde::{Deserialize, Serialize};
 
 /// Tunable knobs of the generative model.
@@ -41,6 +43,12 @@ pub struct WorkloadParams {
     /// `truth::success_probability`). Calibrated so ≈85% of changes pass
     /// their own build steps in isolation.
     pub success_base_logit: f64,
+    /// Shape of the arrival process over time (constant in the paper's
+    /// controlled replays; diurnal spikes in the adversarial scenarios).
+    pub arrival: ArrivalCurve,
+    /// Adversarial generators layered on the statistical model (all off
+    /// in the presets).
+    pub adversary: AdversaryPlan,
 }
 
 impl WorkloadParams {
@@ -60,6 +68,8 @@ impl WorkloadParams {
             graph_change_fraction: 0.079,
             n_developers: 400,
             success_base_logit: 2.2,
+            arrival: ArrivalCurve::Constant,
+            adversary: AdversaryPlan::none(),
         }
     }
 
@@ -121,6 +131,21 @@ impl WorkloadParams {
         if self.n_developers == 0 {
             return Err("need at least one developer".into());
         }
+        self.arrival.validate()?;
+        self.adversary.validate()?;
+        if let Some(f) = &self.adversary.flaky {
+            if let Some(p) = f.parts.iter().find(|p| p.0 as usize >= self.n_parts) {
+                return Err(format!("flaky part {} is outside 0..{}", p.0, self.n_parts));
+            }
+        }
+        if let Some(h) = &self.adversary.hub {
+            if h.span > self.n_parts {
+                return Err(format!(
+                    "hub span {} exceeds the {} configured parts",
+                    h.span, self.n_parts
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -160,6 +185,31 @@ mod tests {
         assert!(p.validate().is_err());
         let mut p = WorkloadParams::ios();
         p.duration_max_mins = 1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_covers_arrival_and_adversary() {
+        use crate::adversary::{FlakyClusters, HubTouches};
+        use crate::change::PartId;
+        let mut p = WorkloadParams::ios();
+        p.arrival = ArrivalCurve::Diurnal {
+            peak_multiplier: 6.0,
+            peak_fraction: 0.5, // 0.5 × 6 ≥ 1
+            period_hours: 8.0,
+        };
+        assert!(p.validate().is_err());
+        let mut p = WorkloadParams::ios();
+        p.adversary.flaky = Some(FlakyClusters {
+            parts: vec![PartId(p.n_parts as u32)], // out of range
+            failure_prob: 0.3,
+        });
+        assert!(p.validate().is_err());
+        let mut p = WorkloadParams::ios();
+        p.adversary.hub = Some(HubTouches {
+            prob: 0.2,
+            span: p.n_parts + 1,
+        });
         assert!(p.validate().is_err());
     }
 }

@@ -13,9 +13,13 @@
 //! deterministic hash coin over the unordered id pair, flipped only for
 //! part-overlapping (potentially conflicting) pairs.
 
+use crate::adversary::FlakyClusters;
 use crate::change::ChangeSpec;
 use serde::{Deserialize, Serialize};
 use sq_sim::rng::SplitMix64;
+
+/// Salt separating the flaky-test coin stream from the conflict coins.
+const FLAKY_SALT: u64 = 0xF1A_C0DE;
 
 /// Deterministic uniform in [0,1) keyed by (seed, a, b) with a ≤ b.
 fn pair_unit(seed: u64, a: u64, b: u64) -> f64 {
@@ -34,6 +38,9 @@ pub struct GroundTruth {
     /// Probability a potentially-conflicting pair really conflicts
     /// (Figure 1's n=2 intercept).
     pairwise_conflict_prob: f64,
+    /// Part-correlated flaky-test clusters (adversarial scenarios only;
+    /// absent field deserializes to `None` for older snapshots).
+    flaky: Option<FlakyClusters>,
 }
 
 impl GroundTruth {
@@ -43,13 +50,37 @@ impl GroundTruth {
         GroundTruth {
             seed,
             pairwise_conflict_prob,
+            flaky: None,
         }
     }
 
+    /// Enable part-correlated flaky-test clusters: changes touching an
+    /// afflicted part may deterministically fail their build steps.
+    pub fn with_flaky(mut self, flaky: Option<FlakyClusters>) -> Self {
+        self.flaky = flaky;
+        self
+    }
+
+    /// Do this change's flaky tests fail it? Deterministic per
+    /// (seed, change, afflicted part): unlike `sq-exec` infra faults the
+    /// verdict never changes on retry, so the failure is genuinely
+    /// attributable to the change and a rejection is *justified*. A
+    /// change touching several afflicted parts flips one coin per part.
+    pub fn flaky_failure(&self, c: &ChangeSpec) -> bool {
+        let Some(flaky) = &self.flaky else {
+            return false;
+        };
+        c.parts.iter().any(|&p| {
+            flaky.afflicts(p)
+                && pair_unit(self.seed ^ FLAKY_SALT, c.id.0, p.0 as u64) < flaky.failure_prob
+        })
+    }
+
     /// Would this change's build steps pass in isolation against the
-    /// HEAD it was generated from?
+    /// HEAD it was generated from? Under a flaky-cluster adversary the
+    /// part-correlated test failures count against the change.
     pub fn succeeds_alone(&self, c: &ChangeSpec) -> bool {
-        c.intrinsic_success
+        c.intrinsic_success && !self.flaky_failure(c)
     }
 
     /// Do two changes *really* conflict (per the paper's Section 2.1
@@ -76,7 +107,7 @@ impl GroundTruth {
         subject: &ChangeSpec,
         prefix: impl IntoIterator<Item = &'a ChangeSpec>,
     ) -> bool {
-        if !subject.intrinsic_success {
+        if !self.succeeds_alone(subject) {
             return false;
         }
         prefix.into_iter().all(|p| !self.real_conflict(subject, p))
@@ -86,7 +117,7 @@ impl GroundTruth {
     /// succeeds iff every member succeeds alone and no pair conflicts.
     pub fn batch_succeeds(&self, batch: &[&ChangeSpec]) -> bool {
         for (i, a) in batch.iter().enumerate() {
-            if !a.intrinsic_success {
+            if !self.succeeds_alone(a) {
                 return false;
             }
             for b in &batch[i + 1..] {
@@ -224,6 +255,51 @@ mod tests {
         assert!(!gt.batch_succeeds(&[&a, &b]));
         assert!(!gt.batch_succeeds(&[&c, &broken]));
         assert!(gt.batch_succeeds(&[]));
+    }
+
+    #[test]
+    fn flaky_clusters_flow_through_the_oracle() {
+        use crate::adversary::FlakyClusters;
+        let flaky = FlakyClusters {
+            parts: vec![PartId(1)],
+            failure_prob: 1.0, // every exposed change flakes
+        };
+        let gt = GroundTruth::new(7, 0.0).with_flaky(Some(flaky));
+        let exposed = spec(1, &[1, 5], true);
+        let bystander = spec(2, &[5], true);
+        // The exposed change fails alone, and everywhere downstream.
+        assert!(gt.flaky_failure(&exposed));
+        assert!(!gt.succeeds_alone(&exposed));
+        assert!(!gt.build_succeeds(&exposed, []));
+        assert!(!gt.batch_succeeds(&[&exposed, &bystander]));
+        // The bystander is untouched even though it shares a part with
+        // the exposed change.
+        assert!(!gt.flaky_failure(&bystander));
+        assert!(gt.succeeds_alone(&bystander));
+        assert!(gt.build_succeeds(&bystander, []));
+        // Verdicts are stable across re-queries (no infra-style retry
+        // escape hatch).
+        assert_eq!(gt.flaky_failure(&exposed), gt.flaky_failure(&exposed));
+        // Without the adversary the same change is fine.
+        assert!(GroundTruth::new(7, 0.0).succeeds_alone(&exposed));
+    }
+
+    #[test]
+    fn flaky_failure_rate_matches_parameter() {
+        use crate::adversary::FlakyClusters;
+        let flaky = FlakyClusters {
+            parts: vec![PartId(1)],
+            failure_prob: 0.3,
+        };
+        let gt = GroundTruth::new(19, 0.0).with_flaky(Some(flaky));
+        let n = 20_000u64;
+        let hits = (0..n)
+            .filter(|&k| gt.flaky_failure(&spec(k, &[1], true)))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+        // Changes off the afflicted part never flake.
+        assert!((0..n).all(|k| !gt.flaky_failure(&spec(k, &[2], true))));
     }
 
     #[test]

@@ -51,4 +51,7 @@ cargo run --release -p sq-bench --bin bench_recovery -- --smoke
 echo "==> bench_conflict --smoke (perf gate: indexed+parallel <= serial, byte-identical matrices)"
 cargo run --release -p sq-bench --bin bench_conflict -- --smoke
 
+echo "==> bench_scenarios --smoke (adversarial matrix: always-green, no wrongful rejections, byte-identical rerun)"
+cargo run --release -p sq-bench --bin bench_scenarios -- --smoke
+
 echo "All checks passed."
