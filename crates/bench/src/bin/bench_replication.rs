@@ -1,0 +1,117 @@
+//! Replication benchmark: WAL-shipping throughput and fenced-failover
+//! measurements for Async vs Quorum ack modes at 1/2/3 followers.
+//!
+//! Default mode runs the recorded configuration and writes the
+//! deterministic document to `results/BENCH_replication.json` under the
+//! repository root (the wall-clock companion always goes to
+//! `target/figures/BENCH_replication_timing.json`); `--smoke` runs the
+//! small configuration, writes the document under `target/figures/`,
+//! and exits nonzero unless the zero-loss gate holds: every seeded
+//! leader kill fired, every promoted replica's tail was clean, and the
+//! post-failover state is byte-identical to an uncrashed twin's.
+//! `--out <path>` overrides the destination in either mode (this is how
+//! the committed trajectory file at the repo root is refreshed:
+//! `bench_replication --out BENCH_replication.json`). Both modes
+//! validate the emitted JSON before writing it.
+
+use sq_bench::replication::{run_replication, validate, ReplicationParams};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_override = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("[bench_replication] FAIL: --out requires a path argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+    let params = if smoke {
+        ReplicationParams::smoke()
+    } else {
+        ReplicationParams::standard()
+    };
+    println!(
+        "[bench_replication] {} run: seed={} n_parts={} n_changes={} followers={:?} kill_after={}",
+        if smoke { "smoke" } else { "standard" },
+        params.seed,
+        params.n_parts,
+        params.n_changes,
+        params.follower_counts,
+        params.kill_after
+    );
+    let report = run_replication(&params);
+    for c in &report.cells {
+        println!(
+            "[bench_replication] cell {:>6?} x{}: {:>3} landed | {:>5} ships | {:>6} records | {:>9} bytes | {:>9.3} ms ({:>7.1} changes/s)",
+            c.mode,
+            c.followers,
+            c.landed,
+            c.ships,
+            c.shipped_records,
+            c.shipped_bytes,
+            c.elapsed_nanos as f64 / 1e6,
+            c.changes as f64 / (c.elapsed_nanos.max(1) as f64 / 1e9),
+        );
+    }
+    for f in &report.failover {
+        println!(
+            "[bench_replication] failover {:>6?}: epoch {} | durable_lsn {} | {} replayed | promote {:>7.3} ms | identical={}",
+            f.mode,
+            f.epoch,
+            f.durable_lsn,
+            f.replayed_records,
+            f.promote_nanos as f64 / 1e6,
+            f.export_identical
+        );
+    }
+    if smoke {
+        if let Err(e) = report.smoke_gate() {
+            eprintln!("[bench_replication] FAIL: zero-loss gate: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "[bench_replication] gate ok: failover states identical, tails clean, full quorum"
+        );
+    }
+    let json = report.to_json();
+    if let Err(e) = validate(&json) {
+        eprintln!("[bench_replication] FAIL: emitted document is invalid: {e}");
+        std::process::exit(1);
+    }
+    let timing_path = sq_bench::figures_dir().join("BENCH_replication_timing.json");
+    std::fs::write(&timing_path, report.to_timing_json()).expect("write timing JSON");
+    let path = match out_override {
+        Some(out) => {
+            let p = PathBuf::from(out);
+            if p.is_absolute() {
+                p
+            } else {
+                repo_root().join(p)
+            }
+        }
+        None if smoke => sq_bench::figures_dir().join("BENCH_replication_smoke.json"),
+        None => repo_root().join("results").join("BENCH_replication.json"),
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&path, &json).expect("write benchmark JSON");
+    println!(
+        "[bench_replication] ok: wrote {} ({} bytes) and {}",
+        path.display(),
+        json.len(),
+        timing_path.display()
+    );
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench/ -> crates/ -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf()
+}

@@ -19,6 +19,7 @@
 //! | `bench_e2e`         | machine-readable end-to-end JSON (`BENCH_e2e.json`) |
 //! | `bench_conflict`    | §5.2 conflict index: serial vs indexed vs parallel  |
 //! | `bench_scenarios`   | adversarial scenario matrix (`BENCH_scenarios.json`)|
+//! | `bench_replication` | WAL shipping + failover (`BENCH_replication.json`)  |
 //!
 //! Every binary prints the series to stdout and writes a CSV to
 //! `target/figures/`. Environment knobs: `SQ_BENCH_HOURS` (simulated
@@ -32,6 +33,7 @@
 
 pub mod conflict;
 pub mod e2e;
+pub mod replication;
 pub mod scenarios;
 
 use sq_core::planner::{run_simulation, PlannerConfig, SimResult};

@@ -33,7 +33,8 @@ use crate::service::{StepAction, SubmitQueueService, TicketId, TicketState};
 use parking_lot::Mutex;
 use sq_obs::{JsonWriter, MetricsRegistry};
 use sq_store::{
-    CodecError, Decoder, DurableStore, DurableStoreConfig, Encoder, Storage, StoreError,
+    CodecError, Decoder, DurableStore, DurableStoreConfig, Encoder, Recovery, Storage, StoreError,
+    Wal,
 };
 use sq_vcs::{CommitId, FileOp, ObjectId, Patch, RepoPath, Repository};
 use std::collections::{BTreeMap, VecDeque};
@@ -613,15 +614,15 @@ fn corrupt_record(e: CodecError) -> StoreError {
     }
 }
 
-struct StoreCtx<S: Storage> {
-    store: DurableStore<S>,
-    state: DurableState,
+pub(crate) struct StoreCtx<W: Wal> {
+    pub(crate) store: W,
+    pub(crate) state: DurableState,
     /// How much of the inner service's recovery log has already been
     /// mapped to journal events.
     log_cursor: usize,
 }
 
-impl<S: Storage> StoreCtx<S> {
+impl<W: Wal> StoreCtx<W> {
     /// Journal a batch (write-ahead), then fold it into the mirror.
     fn journal(&mut self, batch: &[ServiceEvent]) -> Result<(), StoreError> {
         self.store.append(&encode_batch(batch))?;
@@ -639,20 +640,24 @@ impl<S: Storage> StoreCtx<S> {
     }
 }
 
-/// [`SubmitQueueService`] with its state journaled through a
-/// [`DurableStore`]: submissions are acked only once durable, and
-/// [`DurableSubmitQueue::open`] reconstructs the exact acknowledged
-/// state after a crash.
+/// [`SubmitQueueService`] with its state journaled through any
+/// [`Wal`] — the single-node [`DurableStore`] or the replicating
+/// [`Leader`](sq_store::Leader): submissions are acked only once
+/// durable per the WAL's ack discipline, and [`DurableSubmitQueue::open`]
+/// (or [`failover::promote_from_follower`](crate::failover)) reconstructs
+/// the exact acknowledged state after a crash.
 ///
 /// Every mutating call returns `Result`: a [`StoreError`] means the
 /// backing medium failed (or, under fault injection, the simulated
 /// process died) and the handle must be abandoned — reopen to recover.
-pub struct DurableSubmitQueue<S: Storage> {
+/// A [`StoreError::Fenced`] additionally means a newer leader exists
+/// and this node must never serve again under its current epoch.
+pub struct DurableSubmitQueue<W: Wal> {
     service: SubmitQueueService,
-    ctx: Mutex<StoreCtx<S>>,
+    pub(crate) ctx: Mutex<StoreCtx<W>>,
 }
 
-impl<S: Storage> DurableSubmitQueue<S> {
+impl<S: Storage> DurableSubmitQueue<DurableStore<S>> {
     /// Open the durable service: recover `snapshot ⊕ journal suffix`
     /// from `storage`, then restore the in-memory service to exactly
     /// that state over `repo` (the VCS is the system of record for
@@ -665,6 +670,21 @@ impl<S: Storage> DurableSubmitQueue<S> {
         config: DurableStoreConfig,
     ) -> Result<Self, StoreError> {
         let (store, recovered) = DurableStore::open(storage, config)?;
+        Self::from_recovered(repo, threads, recovery, store, &recovered)
+    }
+}
+
+impl<W: Wal> DurableSubmitQueue<W> {
+    /// Rebuild the mirror from a recovery (`snapshot ⊕ journal suffix`)
+    /// and restore the in-memory service to exactly that state — the
+    /// shared tail of every open path (single-node, leader, promotion).
+    pub(crate) fn from_recovered(
+        repo: Repository,
+        threads: usize,
+        recovery: RecoveryConfig,
+        store: W,
+        recovered: &Recovery,
+    ) -> Result<Self, StoreError> {
         let mut state = match &recovered.snapshot {
             Some(payload) => DurableState::decode(payload).map_err(corrupt_snapshot)?,
             None => DurableState::new(),
@@ -796,6 +816,23 @@ impl<S: Storage> DurableSubmitQueue<S> {
         self.service.status(ticket)
     }
 
+    /// Assert that every ticket state in the durable mirror matches the
+    /// live service — the lockstep invariant failover re-checks before
+    /// a promoted replica serves. (Head equality is deliberately NOT
+    /// asserted: after a crash between the VCS commit and the verdict
+    /// journal, the repository is legitimately one commit ahead of the
+    /// mirror until recovery reprocesses the pending change.)
+    pub fn assert_mirror_lockstep(&self) {
+        let ctx = self.ctx.lock();
+        for (ticket, state) in &ctx.state.states {
+            assert_eq!(
+                self.service.status(TicketId(*ticket)).as_ref(),
+                Some(state),
+                "mirror and service disagree on ticket {ticket}"
+            );
+        }
+    }
+
     /// Current mainline HEAD.
     pub fn head(&self) -> CommitId {
         self.service.head()
@@ -868,7 +905,7 @@ mod tests {
         .unwrap()
     }
 
-    fn open(repo: Repository, storage: &Shared) -> DurableSubmitQueue<Shared> {
+    fn open(repo: Repository, storage: &Shared) -> DurableSubmitQueue<DurableStore<Shared>> {
         DurableSubmitQueue::open(
             repo,
             2,

@@ -50,6 +50,10 @@
 //!   is journaled through `sq-store` before it is acknowledged, and
 //!   `DurableSubmitQueue::open` reconstructs the exact acked state from
 //!   snapshot + journal-suffix replay.
+//! * [`failover`] — replicated operation on top of `durable`: leaders
+//!   that ship every journal record to followers, fenced follower
+//!   promotion with zero acked-work loss, candidate selection, and
+//!   capped-backoff reconnect scheduling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,6 +62,7 @@ pub mod analyzer;
 pub mod audit;
 pub mod batching;
 pub mod durable;
+pub mod failover;
 pub mod index;
 pub mod pending;
 pub mod planner;
@@ -71,6 +76,10 @@ pub mod trunk;
 
 pub use analyzer::{ConflictAnalyzer, ConflictGraph, IndexedAnalyzer, RealAnalyzer};
 pub use durable::{DurableState, DurableSubmitQueue, ServiceEvent};
+pub use failover::{
+    best_promotion_candidate, open_leader, promote_from_follower, PromotionCandidate,
+    PromotionReport, ReconnectScheduler, ReconnectTick,
+};
 pub use index::{ConflictIndex, ConflictMatrix, IndexStats, TrunkHash};
 pub use pending::{ChangeOutcome, ChangeRecord};
 pub use planner::{run_simulation, PlannerConfig, SimResult};

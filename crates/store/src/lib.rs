@@ -33,12 +33,39 @@ pub mod checksum;
 pub mod codec;
 pub mod fault;
 pub mod journal;
+pub mod replicate;
 pub mod snapshot;
 pub mod storage;
 
 pub use codec::{CodecError, Decoder, Encoder};
 pub use fault::{CrashKind, CrashPlan};
+pub use replicate::{
+    AckMode, Follower, Leader, LinkState, ReplicationConfig, ReplicationStats, ReplicationStatus,
+    ShipBatch, ShipSamples,
+};
 pub use storage::{FsStorage, MemStorage, Storage, StoreError};
+
+/// The write-ahead-log surface a durable service journals through.
+///
+/// Implemented by the single-node [`DurableStore`] and by the
+/// replicating [`Leader`](replicate::Leader), so the service layer is
+/// agnostic to whether appends are local-only or shipped to followers.
+/// The contract every implementation upholds: a returned LSN means the
+/// payload is durable per the implementation's ack discipline, and an
+/// `Err` means the handle must be abandoned and recovery re-opened.
+pub trait Wal {
+    /// Append one payload as a journal record (write-ahead, synced).
+    /// Returns the record's LSN.
+    fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError>;
+    /// True when the snapshot cadence says it is time to compact.
+    fn should_snapshot(&self) -> bool;
+    /// Snapshot the caller's current state and compact the journal.
+    fn write_snapshot(&mut self, state: &[u8]) -> Result<(), StoreError>;
+    /// The LSN the next append will carry.
+    fn next_lsn(&self) -> u64;
+    /// Operation counters of the local store.
+    fn stats(&self) -> &StoreStats;
+}
 
 /// Configuration of a [`DurableStore`].
 #[derive(Debug, Clone)]
@@ -84,6 +111,34 @@ pub struct Recovery {
     pub events: Vec<Vec<u8>>,
     /// Torn-tail bytes truncated away during open (0 for a clean file).
     pub truncated_tail_bytes: u64,
+}
+
+impl Recovery {
+    /// What this open did to reconstruct state — the operator-facing
+    /// distinction between a clean open and a tail repair.
+    pub fn replay_stats(&self) -> ReplayStats {
+        ReplayStats {
+            replayed_records: self.events.len() as u64,
+            truncated_bytes: self.truncated_tail_bytes,
+            snapshot_loaded: self.snapshot.is_some(),
+        }
+    }
+}
+
+/// How an open reconstructed state: records replayed, whether a
+/// snapshot seeded the fold, and — the crash tell — how many torn-tail
+/// bytes had to be truncated away. A clean shutdown always reopens with
+/// `truncated_bytes == 0`; a nonzero count means the journal's tail was
+/// repaired, which operators (and the chaos suite's uncrashed twin,
+/// which asserts 0) use to distinguish clean opens from crash recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Journal records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Torn-tail bytes truncated during the open (0 = clean open).
+    pub truncated_bytes: u64,
+    /// True when a snapshot seeded the replay.
+    pub snapshot_loaded: bool,
 }
 
 /// Operation counters for observability (exported into `sq-obs` by the
@@ -238,6 +293,102 @@ impl<S: Storage> DurableStore<S> {
     /// The configuration this store was opened with.
     pub fn config(&self) -> &DurableStoreConfig {
         &self.config
+    }
+
+    /// Append a record at an *exact* LSN — the replication path, where
+    /// the leader (not this store) owns LSN assignment. Refuses gaps
+    /// and replays: the record must be the next one in sequence.
+    pub fn append_at(&mut self, lsn: u64, payload: &[u8]) -> Result<(), StoreError> {
+        if lsn != self.next_lsn {
+            return Err(StoreError::ReplicaGap {
+                expected: self.next_lsn,
+                got: lsn,
+            });
+        }
+        let record = journal::encode_record(lsn, payload);
+        self.storage.append(&self.config.journal_file, &record)?;
+        self.storage.sync(&self.config.journal_file)?;
+        self.next_lsn += 1;
+        self.records_since_snapshot += 1;
+        self.stats.appends += 1;
+        self.stats.appended_bytes += record.len() as u64;
+        self.stats.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Install a snapshot shipped from a leader, replacing whatever
+    /// this store holds. Unlike [`write_snapshot`](Self::write_snapshot)
+    /// the covered LSN comes from the *sender*, and the local position
+    /// moves to it unconditionally — including backwards, which is how
+    /// a rejoining deposed leader discards a divergent un-acked tail.
+    pub fn install_snapshot(&mut self, lsn: u64, state: &[u8]) -> Result<(), StoreError> {
+        let encoded = snapshot::encode(lsn, state);
+        self.storage
+            .write_atomic(&self.config.snapshot_file, &encoded)?;
+        self.storage.sync(&self.config.snapshot_file)?;
+        self.stats.fsyncs += 1;
+        self.storage
+            .truncate(&self.config.journal_file, journal::MAGIC.len() as u64)?;
+        self.next_lsn = lsn + 1;
+        self.records_since_snapshot = 0;
+        self.stats.snapshots += 1;
+        self.stats.last_snapshot_bytes = encoded.len() as u64;
+        Ok(())
+    }
+
+    /// Erase this store back to empty (position 0) ahead of a full
+    /// resync from a leader that has no snapshot to ship. Ordering
+    /// matters for crash consistency: the journal is truncated *first*,
+    /// then the snapshot removed — a crash in between leaves an empty
+    /// journal over a stale snapshot, which is consistent (stale) state,
+    /// never a journal replaying on top of the wrong base.
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.storage
+            .truncate(&self.config.journal_file, journal::MAGIC.len() as u64)?;
+        self.storage.sync(&self.config.journal_file)?;
+        self.stats.fsyncs += 1;
+        self.storage.remove(&self.config.snapshot_file)?;
+        self.next_lsn = 1;
+        self.records_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Read the current snapshot (covered LSN, payload) without
+    /// mutating anything — what a leader ships to a lagging follower.
+    pub fn read_snapshot(&mut self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        match self.storage.read(&self.config.snapshot_file)? {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(snapshot::decode(&bytes)?)),
+        }
+    }
+
+    /// Read every journal record with LSN strictly greater than `lsn` —
+    /// the suffix a leader ships to catch a follower up.
+    pub fn read_records_after(&mut self, lsn: u64) -> Result<Vec<journal::Record>, StoreError> {
+        let bytes = self
+            .storage
+            .read(&self.config.journal_file)?
+            .unwrap_or_default();
+        let scan = journal::scan(&bytes)?;
+        Ok(scan.records.into_iter().filter(|r| r.lsn > lsn).collect())
+    }
+}
+
+impl<S: Storage> Wal for DurableStore<S> {
+    fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        DurableStore::append(self, payload)
+    }
+    fn should_snapshot(&self) -> bool {
+        DurableStore::should_snapshot(self)
+    }
+    fn write_snapshot(&mut self, state: &[u8]) -> Result<(), StoreError> {
+        DurableStore::write_snapshot(self, state)
+    }
+    fn next_lsn(&self) -> u64 {
+        DurableStore::next_lsn(self)
+    }
+    fn stats(&self) -> &StoreStats {
+        DurableStore::stats(self)
     }
 }
 

@@ -49,6 +49,30 @@ pub enum StoreError {
         /// What failed.
         detail: String,
     },
+    /// A replication message failed validation (bad magic, checksum
+    /// mismatch, non-contiguous LSNs) — damage on the "wire", refused
+    /// before any byte reaches the follower's journal.
+    CorruptShip {
+        /// What failed.
+        detail: String,
+    },
+    /// An append or snapshot install carried a stale epoch: the sender
+    /// was deposed by a promotion it has not yet learned about. The
+    /// fenced party must stop accepting work (no split-brain).
+    Fenced {
+        /// The receiver's (current) epoch.
+        ours: u64,
+        /// The stale sender's epoch.
+        theirs: u64,
+    },
+    /// A shipped batch does not continue the receiver's journal: the
+    /// leader must fall back to a snapshot + suffix resync.
+    ReplicaGap {
+        /// The LSN the receiver expected next.
+        expected: u64,
+        /// The first LSN the batch actually carried.
+        got: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -60,6 +84,16 @@ impl fmt::Display for StoreError {
                 write!(f, "corrupt journal record at byte {offset}: {detail}")
             }
             StoreError::CorruptSnapshot { detail } => write!(f, "corrupt snapshot: {detail}"),
+            StoreError::CorruptShip { detail } => write!(f, "corrupt ship batch: {detail}"),
+            StoreError::Fenced { ours, theirs } => {
+                write!(f, "fenced: stale epoch {theirs} refused at epoch {ours}")
+            }
+            StoreError::ReplicaGap { expected, got } => {
+                write!(
+                    f,
+                    "replica gap: expected lsn {expected}, batch starts at {got}"
+                )
+            }
         }
     }
 }
@@ -89,6 +123,9 @@ pub trait Storage {
     /// Replace `name` with `bytes` atomically: afterwards the file holds
     /// either the old contents or the new, never a mixture.
     fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError>;
+    /// Delete `name` (no-op if it does not exist). Removal is atomic:
+    /// after a crash the file is either fully present or fully gone.
+    fn remove(&mut self, name: &str) -> Result<(), StoreError>;
     /// Flush `name` to the durable medium.
     fn sync(&mut self, name: &str) -> Result<(), StoreError>;
 }
@@ -109,13 +146,18 @@ impl<S: Storage> Storage for Arc<Mutex<S>> {
     fn write_atomic(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
         self.lock().expect("storage lock").write_atomic(name, bytes)
     }
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        self.lock().expect("storage lock").remove(name)
+    }
     fn sync(&mut self, name: &str) -> Result<(), StoreError> {
         self.lock().expect("storage lock").sync(name)
     }
 }
 
-/// Real files under a root directory.
-#[derive(Debug)]
+/// Real files under a root directory. `Clone` shares the root: clones
+/// address the same files, which is what a replication link needs to
+/// reopen a follower over its surviving medium.
+#[derive(Debug, Clone)]
 pub struct FsStorage {
     root: PathBuf,
 }
@@ -172,6 +214,14 @@ impl Storage for FsStorage {
         std::fs::File::open(&tmp)?.sync_all()?;
         std::fs::rename(&tmp, self.path(name))?;
         Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 
     fn sync(&mut self, name: &str) -> Result<(), StoreError> {
@@ -343,6 +393,23 @@ impl Storage for MemStorage {
                 // Atomic replace never tears: old or new, whole.
                 if d.kind == CrashKind::AfterWrite {
                     self.files.insert(name.to_string(), bytes.to_vec());
+                }
+                Err(StoreError::Crashed { op: self.ops - 1 })
+            }
+        }
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        let crash = self.mutating_op()?;
+        match crash {
+            None => {
+                self.files.remove(name);
+                Ok(())
+            }
+            Some(d) => {
+                // Removal is atomic: the crash lands before or after.
+                if d.kind == CrashKind::AfterWrite {
+                    self.files.remove(name);
                 }
                 Err(StoreError::Crashed { op: self.ops - 1 })
             }

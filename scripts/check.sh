@@ -54,4 +54,7 @@ cargo run --release -p sq-bench --bin bench_conflict -- --smoke
 echo "==> bench_scenarios --smoke (adversarial matrix: always-green, no wrongful rejections, byte-identical rerun)"
 cargo run --release -p sq-bench --bin bench_scenarios -- --smoke
 
+echo "==> bench_replication --smoke (zero-loss gate: seeded failover, byte-identical state vs uncrashed twin)"
+cargo run --release -p sq-bench --bin bench_replication -- --smoke
+
 echo "All checks passed."

@@ -207,7 +207,7 @@ fn chaos_faults_never_reject_good_changes_and_history_is_reproducible() {
 
 use keeping_master_green::core::durable::DurableSubmitQueue;
 use keeping_master_green::core::service::TicketId;
-use keeping_master_green::store::{CrashPlan, DurableStoreConfig, MemStorage};
+use keeping_master_green::store::{CrashPlan, DurableStore, DurableStoreConfig, MemStorage};
 use std::sync::{Arc, Mutex as StdMutex};
 
 const CRASH_RATE: f64 = 0.1;
@@ -226,9 +226,9 @@ struct DurableRun {
 /// Revive the dead medium and reopen the service over the surviving
 /// repository — the recovery step after each simulated process death.
 fn recover(
-    dead: DurableSubmitQueue<SharedStorage>,
+    dead: DurableSubmitQueue<DurableStore<SharedStorage>>,
     storage: &SharedStorage,
-) -> DurableSubmitQueue<SharedStorage> {
+) -> DurableSubmitQueue<DurableStore<SharedStorage>> {
     let repo = dead.repository();
     drop(dead);
     storage.lock().unwrap().revive();
@@ -363,6 +363,273 @@ fn chaos_crash_points_recover_to_identical_state() {
             !crashed.export.contains("\"state\":\"queued\""),
             "seed {seed}: drained run left a ticket queued"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replicated failover chaos: seeded leader deaths with fenced promotion.
+//
+// The durable service now journals through a replicating `Leader` with
+// two followers. A crash plan kills the *leader's* medium at arbitrary
+// mutating ops — including the window between the VCS commit and the
+// verdict journal append. After every death the harness does what the
+// failover coordinator does: picks the best surviving replica
+// (`best_promotion_candidate`), promotes it above the cluster-max epoch
+// (`promote_from_follower`), revives the deposed leader's medium, and
+// reattaches it as a follower (resync discards its divergent unacked
+// tail). The run must converge to byte-identical exported state with an
+// uncrashed replicated twin — zero lost acked enqueues, zero double
+// commits — for every seed, in both Async and Quorum ack modes, with
+// promotion epochs strictly increasing.
+// ---------------------------------------------------------------------
+
+use keeping_master_green::core::failover::{
+    best_promotion_candidate, open_leader, promote_from_follower,
+};
+use keeping_master_green::store::{AckMode, Leader, ReplicationConfig};
+
+const REPL_CRASH_RATE: f64 = 0.08;
+const REPL_SEEDS: [u64; 3] = [21, 22, 23];
+const N_REPL_CHANGES: usize = 12;
+
+type ReplQueue = DurableSubmitQueue<Leader<SharedStorage>>;
+
+fn repl_store_cfg() -> DurableStoreConfig {
+    DurableStoreConfig::with_snapshot_every(8)
+}
+
+struct ReplicatedRun {
+    export: String,
+    landed: u64,
+    commits: usize,
+    crashes: u32,
+    failovers: u32,
+    epochs: Vec<u64>,
+    acked: Vec<u64>,
+    truncated_tail_bytes: u64,
+}
+
+/// Fenced failover after a leader death: promote the best surviving
+/// replica, bring the deposed medium back as a follower, and re-arm the
+/// crash plan (fresh seed) on the new leader if the run is a chaos run.
+/// `replicas[0]` is the dead leader's storage; the vec is reordered so
+/// the promoted replica leads.
+fn failover_replicated(
+    dead: ReplQueue,
+    replicas: &mut Vec<SharedStorage>,
+    mode: AckMode,
+    plan: Option<CrashPlan>,
+) -> (ReplQueue, u64) {
+    let repo = dead.repository();
+    let dead_epoch = dead.epoch();
+    drop(dead); // the leader process is gone; its medium is dark
+    let survivors: Vec<SharedStorage> = replicas[1..].to_vec();
+    let candidate = best_promotion_candidate(&survivors, &repl_store_cfg(), &repl_cfg(mode))
+        .expect("surviving replicas are readable");
+    let promoted_storage = survivors[candidate.index].clone();
+    let (dq, report) = promote_from_follower(
+        repo,
+        3,
+        RecoveryConfig::disabled(),
+        promoted_storage.clone(),
+        repl_store_cfg(),
+        repl_cfg(mode),
+        candidate.cluster_epoch.max(dead_epoch),
+    )
+    .expect("promotion from best candidate");
+
+    // Rebuild the cluster around the new leader: the other survivor
+    // first, then the revived old medium (divergent tail discarded by
+    // resync, which also repairs any torn tail its crash left behind).
+    let old_leader = replicas[0].clone();
+    old_leader.lock().unwrap().revive();
+    old_leader.lock().unwrap().set_plan(CrashPlan::none());
+    let mut order = vec![promoted_storage.clone()];
+    for (i, s) in survivors.iter().enumerate() {
+        if i != candidate.index {
+            dq.attach_follower(s.clone(), repl_store_cfg())
+                .expect("reattach survivor");
+            order.push(s.clone());
+        }
+    }
+    dq.attach_follower(old_leader.clone(), repl_store_cfg())
+        .expect("reattach deposed leader");
+    order.push(old_leader);
+    *replicas = order;
+
+    if let Some(plan) = plan {
+        promoted_storage.lock().unwrap().set_plan(plan);
+    }
+    (dq, report.epoch)
+}
+
+fn repl_cfg(mode: AckMode) -> ReplicationConfig {
+    ReplicationConfig::with_ack_mode(mode)
+}
+
+/// Run the workload through a replicated durable service whose leader
+/// medium dies at rate `REPL_CRASH_RATE` (when `crashy`), failing over
+/// after every death.
+fn replicated_run(workload_seed: u64, mode: AckMode, crashy: bool) -> ReplicatedRun {
+    let params = small_params();
+    let m = MaterializedRepo::generate(&params).unwrap();
+    let w = WorkloadBuilder::new(params)
+        .seed(workload_seed)
+        .n_changes(N_REPL_CHANGES)
+        .build()
+        .unwrap();
+    let mut replicas: Vec<SharedStorage> = (0..3)
+        .map(|_| Arc::new(StdMutex::new(MemStorage::with_crashes(CrashPlan::none()))))
+        .collect();
+    let mut dq = open_leader(
+        m.repo.clone(),
+        3,
+        RecoveryConfig::disabled(),
+        replicas[0].clone(),
+        repl_store_cfg(),
+        repl_cfg(mode),
+    )
+    .expect("open replicated leader");
+    dq.attach_follower(replicas[1].clone(), repl_store_cfg())
+        .expect("attach");
+    dq.attach_follower(replicas[2].clone(), repl_store_cfg())
+        .expect("attach");
+    // Arm the chaos only once the cluster is formed, so every death
+    // exercises failover rather than first-boot handling.
+    let mut generation = 0u64;
+    let next_plan = |generation: u64| {
+        crashy.then(|| CrashPlan::at_rate(workload_seed ^ (0xFA11 + generation), REPL_CRASH_RATE))
+    };
+    if let Some(plan) = next_plan(generation) {
+        replicas[0].lock().unwrap().set_plan(plan);
+    }
+    let action: Box<StepAction> = Box::new(truth_outcome);
+
+    let (mut crashes, mut failovers) = (0u32, 0u32);
+    let mut epochs = vec![dq.epoch()];
+    let mut acked = Vec::with_capacity(w.changes.len());
+    for (i, c) in w.changes.iter().enumerate() {
+        let expected = i as u64 + 1;
+        loop {
+            let base = dq.head();
+            match dq.submit(
+                format!("dev{}", c.developer.0),
+                format!("change {}", c.id),
+                base,
+                patch_with_truth(&m, c),
+            ) {
+                Ok(t) => {
+                    assert_eq!(t, TicketId(expected), "ticket assignment diverged");
+                    break;
+                }
+                Err(_) => {
+                    crashes += 1;
+                    generation += 1;
+                    let (next, epoch) =
+                        failover_replicated(dq, &mut replicas, mode, next_plan(generation));
+                    dq = next;
+                    failovers += 1;
+                    epochs.push(epoch);
+                    // The ack was lost. If the promoted replica holds
+                    // the enqueue, it was durable on a quorum of media
+                    // — never resubmit an accepted change.
+                    if dq.status(TicketId(expected)).is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        acked.push(expected);
+        loop {
+            match dq.process_next(&action) {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => {
+                    crashes += 1;
+                    generation += 1;
+                    let (next, epoch) =
+                        failover_replicated(dq, &mut replicas, mode, next_plan(generation));
+                    dq = next;
+                    failovers += 1;
+                    epochs.push(epoch);
+                }
+            }
+        }
+    }
+    let repo = dq.repository();
+    ReplicatedRun {
+        export: dq.export_state_json(),
+        landed: dq.service().stats().landed,
+        commits: repo.log(repo.head()).unwrap().len(),
+        crashes,
+        failovers,
+        epochs,
+        acked,
+        truncated_tail_bytes: dq.store_stats().truncated_tail_bytes,
+    }
+}
+
+#[test]
+fn chaos_leader_deaths_fail_over_with_zero_loss_in_both_ack_modes() {
+    for mode in [AckMode::Async, AckMode::Quorum] {
+        for seed in REPL_SEEDS {
+            let crashed = replicated_run(seed, mode, true);
+            // The chaos actually fired and forced real promotions.
+            assert!(
+                crashed.crashes > 0,
+                "seed {seed} {mode:?}: no leader deaths injected"
+            );
+            assert!(
+                crashed.failovers > 0,
+                "seed {seed} {mode:?}: no failovers exercised"
+            );
+            // Fencing is strict: every promotion claimed a fresh epoch.
+            assert!(
+                crashed.epochs.windows(2).all(|w| w[0] < w[1]),
+                "seed {seed} {mode:?}: epochs not strictly increasing: {:?}",
+                crashed.epochs
+            );
+
+            // An uncrashed replicated twin over the same workload.
+            let clean = replicated_run(seed, mode, false);
+            assert_eq!(clean.crashes, 0);
+            assert_eq!(clean.epochs, vec![1], "twin must never promote");
+            // The twin's recovery path never repaired anything: its WAL
+            // tail was never torn (bugfix guard for `truncated_bytes`).
+            assert_eq!(
+                clean.truncated_tail_bytes, 0,
+                "seed {seed} {mode:?}: uncrashed twin repaired a torn tail"
+            );
+
+            // Zero lost acked enqueues: the promoted replicas carried
+            // every acknowledged record, so the final state is
+            // byte-identical to the run where the leader never died.
+            assert_eq!(
+                crashed.export, clean.export,
+                "seed {seed} {mode:?}: failover diverged from uncrashed run"
+            );
+
+            // Zero double commits across every promotion — exactly one
+            // commit per landed change plus the root.
+            assert_eq!(
+                crashed.commits as u64,
+                crashed.landed + 1,
+                "seed {seed} {mode:?}: commit log does not match landed count"
+            );
+            assert_eq!(crashed.commits, clean.commits, "seed {seed} {mode:?}");
+
+            // Every acked ticket reached a terminal state.
+            for t in &crashed.acked {
+                assert!(
+                    crashed.export.contains(&format!("\"{t}\":")),
+                    "seed {seed} {mode:?}: acked ticket {t} missing after failovers"
+                );
+            }
+            assert!(
+                !crashed.export.contains("\"state\":\"queued\""),
+                "seed {seed} {mode:?}: drained run left a ticket queued"
+            );
+        }
     }
 }
 
