@@ -1,0 +1,144 @@
+//! Serving-layer benchmark: replays an `sq-workload` trace against a
+//! live loopback `sq-server` and measures request throughput,
+//! enqueue-to-ack / enqueue-to-verdict latency percentiles, and the
+//! graceful-drain durability guarantee (zero lost acked enqueues
+//! across a restart).
+//!
+//! Default mode runs the recorded configuration and writes the
+//! deterministic document to `results/BENCH_server.json` under the
+//! repository root (the wall-clock companion always goes to
+//! `target/figures/BENCH_server_timing.json`); `--smoke` runs the
+//! small configuration **twice**, fails unless the two documents are
+//! byte-identical and the zero-loss gate holds, and writes under
+//! `target/figures/`. `--out <path>` overrides the destination in
+//! either mode (this is how the committed file at the repo root is
+//! refreshed: `bench_server --out BENCH_server.json`). `--rate <r>`
+//! paces the sequential phase at `r` enqueues/second (timing document
+//! only); `--uds` serves over a Unix-domain socket instead of TCP.
+//! Both modes validate the emitted JSON before writing it.
+
+use sq_bench::server::{run_server_bench, validate, ServerBenchParams};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let use_uds = args.iter().any(|a| a == "--uds");
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("[bench_server] FAIL: {name} requires an argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    };
+    let out_override = flag_value("--out");
+    let rate: f64 = flag_value("--rate")
+        .map(|r| {
+            r.parse().unwrap_or_else(|_| {
+                eprintln!("[bench_server] FAIL: --rate requires a number, got {r:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.0);
+    let params = ServerBenchParams {
+        rate,
+        use_uds,
+        ..if smoke {
+            ServerBenchParams::smoke()
+        } else {
+            ServerBenchParams::standard()
+        }
+    };
+    println!(
+        "[bench_server] {} run: seed={} n_parts={} n_changes={} burst={} transport={} rate={}",
+        if smoke { "smoke" } else { "standard" },
+        params.seed,
+        params.n_parts,
+        params.n_changes,
+        params.burst,
+        if params.use_uds { "uds" } else { "tcp" },
+        if params.rate > 0.0 {
+            format!("{}/s", params.rate)
+        } else {
+            "unpaced".to_string()
+        },
+    );
+    let report = run_server_bench(&params);
+    let t = &report.timing;
+    println!(
+        "[bench_server] sequential: {:>3} changes landed | {:>5} requests | {:>9.3} ms ({:>8.1} req/s)",
+        report.sequential.landed,
+        t.requests,
+        t.elapsed_nanos as f64 / 1e6,
+        t.requests as f64 / (t.elapsed_nanos.max(1) as f64 / 1e9),
+    );
+    println!(
+        "[bench_server] ack latency     micros: P50 {:>9.1} | P95 {:>9.1} | P99 {:>9.1}",
+        t.ack_p50, t.ack_p95, t.ack_p99
+    );
+    println!(
+        "[bench_server] verdict latency micros: P50 {:>9.1} | P95 {:>9.1} | P99 {:>9.1}",
+        t.verdict_p50, t.verdict_p95, t.verdict_p99
+    );
+    println!(
+        "[bench_server] durability: {} acked | {} landed after restart | {} lost",
+        report.durability.acked, report.durability.landed_after_restart, report.durability.lost
+    );
+    if smoke {
+        if let Err(e) = report.smoke_gate() {
+            eprintln!("[bench_server] FAIL: zero-loss gate: {e}");
+            std::process::exit(1);
+        }
+        // Byte-reproducibility: a same-seed rerun must emit the
+        // identical deterministic document.
+        let rerun = run_server_bench(&params);
+        if rerun.to_json() != report.to_json() {
+            eprintln!(
+                "[bench_server] FAIL: deterministic document diverged across same-seed reruns"
+            );
+            std::process::exit(1);
+        }
+        println!("[bench_server] gate ok: zero lost acks, deterministic document reproducible");
+    }
+    let json = report.to_json();
+    if let Err(e) = validate(&json) {
+        eprintln!("[bench_server] FAIL: emitted document is invalid: {e}");
+        std::process::exit(1);
+    }
+    let timing_path = sq_bench::figures_dir().join("BENCH_server_timing.json");
+    std::fs::write(&timing_path, report.to_timing_json()).expect("write timing JSON");
+    let path = match out_override {
+        Some(out) => {
+            let p = PathBuf::from(out);
+            if p.is_absolute() {
+                p
+            } else {
+                repo_root().join(p)
+            }
+        }
+        None if smoke => sq_bench::figures_dir().join("BENCH_server_smoke.json"),
+        None => repo_root().join("results").join("BENCH_server.json"),
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&path, &json).expect("write benchmark JSON");
+    println!(
+        "[bench_server] ok: wrote {} ({} bytes) and {}",
+        path.display(),
+        json.len(),
+        timing_path.display()
+    );
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench/ -> crates/ -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf()
+}

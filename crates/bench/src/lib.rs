@@ -20,6 +20,7 @@
 //! | `bench_conflict`    | §5.2 conflict index: serial vs indexed vs parallel  |
 //! | `bench_scenarios`   | adversarial scenario matrix (`BENCH_scenarios.json`)|
 //! | `bench_replication` | WAL shipping + failover (`BENCH_replication.json`)  |
+//! | `bench_server`      | live-socket serving layer (`BENCH_server.json`)     |
 //!
 //! Every binary prints the series to stdout and writes a CSV to
 //! `target/figures/`. Environment knobs: `SQ_BENCH_HOURS` (simulated
@@ -35,6 +36,7 @@ pub mod conflict;
 pub mod e2e;
 pub mod replication;
 pub mod scenarios;
+pub mod server;
 
 use sq_core::planner::{run_simulation, PlannerConfig, SimResult};
 use sq_core::predict::LearnedPredictor;

@@ -1,0 +1,632 @@
+//! The serving-layer load generator behind `bench_server`.
+//!
+//! Replays an `sq-workload` trace against a **live loopback server**
+//! (`sq-server` fronting a [`DurableSubmitQueue`]) and measures two
+//! things over the same seeded run:
+//!
+//! * **Sequential replay** — every workload change goes over the wire
+//!   as `Head` → `Enqueue` → `SubscribeVerdict`, waiting for the
+//!   verdict before the next change, so ticket assignment, commit
+//!   order, and every counter are deterministic. Per-request wall
+//!   latencies (enqueue-to-ack and enqueue-to-verdict) are recorded
+//!   through `sq-obs` histograms and reported as P50/P95/P99 in the
+//!   timing document only.
+//! * **Drain durability** — a pipelined burst of enqueues is acked,
+//!   the server is gracefully drained mid-queue, the queue is
+//!   reopened from the same storage, and a fresh server proves every
+//!   acked ticket still reaches `Landed`. `lost` must be zero: an ack
+//!   is a journal-backed promise that survives a restart.
+//!
+//! The deterministic counters (changes landed, commits, journal
+//! appends summed across both server lives, acks, losses) go into the
+//! committed document; wall time and latency percentiles go into a
+//! separate timing document, so the committed file is
+//! byte-reproducible — `--smoke` runs the whole benchmark twice and
+//! fails unless the two documents are identical.
+
+use sq_core::durable::DurableSubmitQueue;
+use sq_core::service::StepAction;
+use sq_core::RecoveryConfig;
+use sq_exec::StepOutcome;
+use sq_obs::{JsonWriter, MetricsRegistry};
+use sq_server::{Client, Endpoint, Request, Response, Server, ServerConfig, WireTicketState};
+use sq_store::{DurableStore, DurableStoreConfig, MemStorage};
+use sq_vcs::{CommitId, Patch, RepoPath};
+use sq_workload::repo_model::MaterializedRepo;
+use sq_workload::{WorkloadBuilder, WorkloadParams};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+type Shared = Arc<Mutex<MemStorage>>;
+type Queue = DurableSubmitQueue<DurableStore<Shared>>;
+
+/// Parameters of one serving-layer benchmark run.
+#[derive(Debug, Clone)]
+pub struct ServerBenchParams {
+    /// Master seed for the workload and repository.
+    pub seed: u64,
+    /// Logical parts (= packages) in the materialized repo.
+    pub n_parts: usize,
+    /// Workload changes replayed sequentially over the wire.
+    pub n_changes: usize,
+    /// Pipelined enqueues acked right before the graceful drain.
+    pub burst: usize,
+    /// Speculation window of the queue under test.
+    pub window: usize,
+    /// Snapshot cadence of the store.
+    pub snapshot_every: u64,
+    /// Target enqueue rate in changes/second for the sequential phase
+    /// (`0.0` = unpaced, as fast as the loop turns). Pacing only
+    /// shapes the timing document; the deterministic counters are
+    /// rate-independent.
+    pub rate: f64,
+    /// Serve over a Unix-domain socket instead of TCP loopback.
+    pub use_uds: bool,
+}
+
+impl ServerBenchParams {
+    /// The recorded configuration (what `bench_server` runs by default
+    /// and what `BENCH_server.json` at the repo root reports).
+    pub fn standard() -> Self {
+        ServerBenchParams {
+            seed: crate::bench_seed(),
+            n_parts: 32,
+            n_changes: 48,
+            burst: 8,
+            window: 2,
+            snapshot_every: 16,
+            rate: 0.0,
+            use_uds: false,
+        }
+    }
+
+    /// A small configuration for CI smoke runs.
+    pub fn smoke() -> Self {
+        ServerBenchParams {
+            seed: crate::bench_seed(),
+            n_parts: 16,
+            n_changes: 12,
+            burst: 4,
+            window: 2,
+            snapshot_every: 8,
+            rate: 0.0,
+            use_uds: false,
+        }
+    }
+}
+
+/// Deterministic counters from the sequential replay phase.
+#[derive(Debug, Clone)]
+pub struct SequentialCell {
+    /// Workload changes replayed.
+    pub changes: u64,
+    /// Changes that landed (must equal `changes`).
+    pub landed: u64,
+}
+
+/// Deterministic counters from the drain-durability phase.
+#[derive(Debug, Clone)]
+pub struct DurabilityCell {
+    /// Pipelined enqueues sent before the drain.
+    pub burst: u64,
+    /// Enqueues acked before the drain (must equal `burst`).
+    pub acked: u64,
+    /// Acked tickets that reached `Landed` after the restart.
+    pub landed_after_restart: u64,
+    /// Acked tickets lost across the drain/restart (must be 0).
+    pub lost: u64,
+    /// Queue depth once every burst ticket reached a verdict.
+    pub queue_depth_after: u64,
+}
+
+/// End-of-run totals summed across both server lives.
+#[derive(Debug, Clone)]
+pub struct TotalsCell {
+    /// `server.requests.enqueue` across both lives.
+    pub requests_enqueue: u64,
+    /// `server.enqueues.acked` across both lives.
+    pub enqueues_acked: u64,
+    /// `server.busy_replies` across both lives (must be 0).
+    pub busy_replies: u64,
+    /// `server.tickets.processed` across both lives.
+    pub tickets_processed: u64,
+    /// Journal appends summed across both store lives.
+    pub journal_appends: u64,
+    /// Changes landed across the whole run, burst included.
+    pub landed: u64,
+    /// Mainline commits including the root, at the end of the run.
+    pub commits: u64,
+}
+
+/// Wall-clock measurements (timing document only).
+#[derive(Debug, Clone)]
+pub struct TimingCell {
+    /// Wall time of the sequential phase, in nanoseconds.
+    pub elapsed_nanos: u64,
+    /// Requests sent during the sequential phase.
+    pub requests: u64,
+    /// Enqueue-to-ack latency percentiles, in microseconds.
+    pub ack_p50: f64,
+    /// P95 of enqueue-to-ack, in microseconds.
+    pub ack_p95: f64,
+    /// P99 of enqueue-to-ack, in microseconds.
+    pub ack_p99: f64,
+    /// Enqueue-to-verdict latency percentiles, in microseconds.
+    pub verdict_p50: f64,
+    /// P95 of enqueue-to-verdict, in microseconds.
+    pub verdict_p95: f64,
+    /// P99 of enqueue-to-verdict, in microseconds.
+    pub verdict_p99: f64,
+}
+
+/// A full benchmark report.
+#[derive(Debug, Clone)]
+pub struct ServerBenchReport {
+    /// The parameters the run used.
+    pub params: ServerBenchParams,
+    /// The sequential replay phase.
+    pub sequential: SequentialCell,
+    /// The drain-durability phase.
+    pub durability: DurabilityCell,
+    /// End-of-run totals across both server lives.
+    pub totals: TotalsCell,
+    /// Wall-clock companion (never serialized into the committed doc).
+    pub timing: TimingCell,
+}
+
+impl ServerBenchReport {
+    /// Render the committed machine-readable document. Every field is
+    /// deterministic for a given seed — wall-clock numbers live in
+    /// [`Self::to_timing_json`] — so reruns are byte-identical.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "sq-bench-server/v1");
+        w.key("params");
+        w.begin_object();
+        w.field_u64("seed", self.params.seed);
+        w.field_u64("n_parts", self.params.n_parts as u64);
+        w.field_u64("n_changes", self.params.n_changes as u64);
+        w.field_u64("burst", self.params.burst as u64);
+        w.field_u64("window", self.params.window as u64);
+        w.field_u64("snapshot_every", self.params.snapshot_every);
+        w.field_str("transport", if self.params.use_uds { "uds" } else { "tcp" });
+        w.end_object();
+        w.key("sequential");
+        w.begin_object();
+        w.field_u64("changes", self.sequential.changes);
+        w.field_u64("landed", self.sequential.landed);
+        w.end_object();
+        w.key("durability");
+        w.begin_object();
+        w.field_u64("burst", self.durability.burst);
+        w.field_u64("acked", self.durability.acked);
+        w.field_u64("landed_after_restart", self.durability.landed_after_restart);
+        w.field_u64("lost", self.durability.lost);
+        w.field_u64("queue_depth_after", self.durability.queue_depth_after);
+        w.end_object();
+        w.key("totals");
+        w.begin_object();
+        w.field_u64("requests_enqueue", self.totals.requests_enqueue);
+        w.field_u64("enqueues_acked", self.totals.enqueues_acked);
+        w.field_u64("busy_replies", self.totals.busy_replies);
+        w.field_u64("tickets_processed", self.totals.tickets_processed);
+        w.field_u64("journal_appends", self.totals.journal_appends);
+        w.field_u64("landed", self.totals.landed);
+        w.field_u64("commits", self.totals.commits);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Render the wall-clock companion document (not committed: timing
+    /// is inherently non-reproducible).
+    pub fn to_timing_json(&self) -> String {
+        let t = &self.timing;
+        let secs = t.elapsed_nanos.max(1) as f64 / 1e9;
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "sq-bench-server-timing/v1");
+        w.field_f64("elapsed_ms", t.elapsed_nanos as f64 / 1e6);
+        w.field_u64("requests", t.requests);
+        w.field_f64("requests_per_sec", t.requests as f64 / secs);
+        w.field_f64("ack_p50_micros", t.ack_p50);
+        w.field_f64("ack_p95_micros", t.ack_p95);
+        w.field_f64("ack_p99_micros", t.ack_p99);
+        w.field_f64("verdict_p50_micros", t.verdict_p50);
+        w.field_f64("verdict_p95_micros", t.verdict_p95);
+        w.field_f64("verdict_p99_micros", t.verdict_p99);
+        w.end_object();
+        w.finish()
+    }
+
+    /// The CI gate: every workload change landed, every acked burst
+    /// enqueue survived the drain/restart, nothing was refused, and
+    /// the queue fully drained.
+    pub fn smoke_gate(&self) -> Result<(), String> {
+        if self.sequential.landed != self.sequential.changes {
+            return Err(format!(
+                "sequential: {} of {} changes landed",
+                self.sequential.landed, self.sequential.changes
+            ));
+        }
+        if self.durability.acked != self.durability.burst {
+            return Err(format!(
+                "durability: only {} of {} burst enqueues acked",
+                self.durability.acked, self.durability.burst
+            ));
+        }
+        if self.durability.lost != 0 {
+            return Err(format!(
+                "durability: {} acked enqueues lost across the restart",
+                self.durability.lost
+            ));
+        }
+        if self.durability.queue_depth_after != 0 {
+            return Err(format!(
+                "durability: {} tickets still queued after all verdicts",
+                self.durability.queue_depth_after
+            ));
+        }
+        if self.totals.busy_replies != 0 {
+            return Err(format!(
+                "{} Busy refusals under an in-bounds load",
+                self.totals.busy_replies
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn always_pass() -> Box<StepAction> {
+    Box::new(|_step, _tree| StepOutcome::Success)
+}
+
+fn open_queue(repo: sq_vcs::Repository, storage: &Shared, params: &ServerBenchParams) -> Queue {
+    DurableSubmitQueue::open(
+        repo,
+        params.window,
+        RecoveryConfig::disabled(),
+        storage.clone(),
+        DurableStoreConfig::with_snapshot_every(params.snapshot_every),
+    )
+    .expect("open durable queue")
+}
+
+fn start_server(queue: Queue, params: &ServerBenchParams) -> Server<DurableStore<Shared>> {
+    let endpoint = if params.use_uds {
+        Endpoint::Uds(
+            std::env::temp_dir().join(format!("sq-bench-server-{}.sock", std::process::id())),
+        )
+    } else {
+        Endpoint::Tcp("127.0.0.1:0".into())
+    };
+    Server::start(
+        queue,
+        always_pass(),
+        ServerConfig {
+            poll_interval: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+        &[endpoint],
+    )
+    .expect("start loopback server")
+}
+
+fn connect(server: &Server<DurableStore<Shared>>, params: &ServerBenchParams) -> Client {
+    if params.use_uds {
+        Client::connect_uds(server.uds_path().expect("uds endpoint")).expect("connect uds")
+    } else {
+        Client::connect_tcp(server.tcp_addr().expect("tcp endpoint")).expect("connect tcp")
+    }
+}
+
+fn head(client: &mut Client) -> CommitId {
+    match client.call(&Request::Head).expect("head round trip") {
+        Response::HeadIs { commit } => commit,
+        other => panic!("expected HeadIs, got {other:?}"),
+    }
+}
+
+fn quantile(metrics: &MetricsRegistry, name: &str, q: f64) -> f64 {
+    metrics
+        .histogram(name)
+        .and_then(|h| h.quantile(q))
+        .unwrap_or(0.0)
+}
+
+/// Run the full benchmark: sequential replay over a live socket, then
+/// the pipelined-burst drain/restart durability phase.
+pub fn run_server_bench(params: &ServerBenchParams) -> ServerBenchReport {
+    let mut wl = WorkloadParams::ios();
+    wl.n_parts = params.n_parts;
+    let m = MaterializedRepo::generate(&wl).expect("valid repo params");
+    let w = WorkloadBuilder::new(wl)
+        .seed(params.seed)
+        .n_changes(params.n_changes)
+        .build()
+        .expect("valid workload params");
+
+    let storage: Shared = Arc::new(Mutex::new(MemStorage::new()));
+    let server = start_server(open_queue(m.repo.clone(), &storage, params), params);
+    let mut client = connect(&server, params);
+
+    // Phase 1 — sequential replay: Head → Enqueue → SubscribeVerdict
+    // per change, so every counter is deterministic. Latencies go into
+    // sq-obs histograms; only their percentiles are reported.
+    let mut lat = MetricsRegistry::new();
+    let mut requests = 0u64;
+    let start = Instant::now();
+    for (i, c) in w.changes.iter().enumerate() {
+        if params.rate > 0.0 {
+            let due = Duration::from_secs_f64(i as f64 / params.rate);
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let base = head(&mut client);
+        let sent = Instant::now();
+        let ticket = match client
+            .call(&Request::Enqueue {
+                author: format!("dev{}", c.developer.0),
+                description: format!("change {}", c.id),
+                base,
+                patch: m.patch_for(c),
+            })
+            .expect("enqueue round trip")
+        {
+            Response::Enqueued { ticket } => ticket,
+            other => panic!("expected Enqueued, got {other:?}"),
+        };
+        lat.observe("server.ack_micros", sent.elapsed().as_secs_f64() * 1e6);
+        match client
+            .call(&Request::SubscribeVerdict {
+                ticket,
+                timeout_ms: 60_000,
+            })
+            .expect("subscribe round trip")
+        {
+            Response::Verdict { state, .. } => {
+                assert!(
+                    matches!(state, WireTicketState::Landed(_)),
+                    "workload change {} failed to land: {state:?}",
+                    c.id
+                );
+            }
+            other => panic!("expected Verdict, got {other:?}"),
+        }
+        lat.observe("server.verdict_micros", sent.elapsed().as_secs_f64() * 1e6);
+        requests += 3;
+    }
+    let elapsed_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    // Phase 2 — drain durability: pipeline a burst of disjoint-file
+    // enqueues, collect the acks, then gracefully drain mid-queue.
+    let base = head(&mut client);
+    requests += 1;
+    for i in 0..params.burst {
+        client
+            .send(&Request::Enqueue {
+                author: "burst".into(),
+                description: format!("burst {i}"),
+                base,
+                patch: Patch::write(
+                    RepoPath::new(format!("bench/acked_{i}.rs")).expect("valid path"),
+                    format!("pub fn acked_{i}() {{}}"),
+                ),
+            })
+            .expect("pipelined enqueue");
+    }
+    let mut tickets = Vec::new();
+    for _ in 0..params.burst {
+        match client.recv().expect("pipelined ack") {
+            Response::Enqueued { ticket } => tickets.push(ticket),
+            Response::Busy { .. } => {}
+            other => panic!("expected Enqueued or Busy, got {other:?}"),
+        }
+        requests += 1;
+    }
+    let acked = tickets.len() as u64;
+    drop(client);
+    let (queue, metrics_a) = server.shutdown();
+    let appends_a = queue.store_stats().appends;
+
+    // "Restart": recover from the same storage, serve again, and
+    // demand a verdict for every acked ticket.
+    let repo = queue.repository();
+    drop(queue);
+    let server = start_server(open_queue(repo, &storage, params), params);
+    let mut client = connect(&server, params);
+    let mut landed_after_restart = 0u64;
+    for &t in &tickets {
+        match client
+            .call(&Request::SubscribeVerdict {
+                ticket: t,
+                timeout_ms: 60_000,
+            })
+            .expect("post-restart subscribe")
+        {
+            Response::Verdict { state, .. } => {
+                if matches!(state, WireTicketState::Landed(_)) {
+                    landed_after_restart += 1;
+                }
+            }
+            Response::StatusIs { state: None } => {} // lost: counted below
+            other => panic!("expected Verdict, got {other:?}"),
+        }
+        requests += 1;
+    }
+    drop(client);
+    let (queue, metrics_b) = server.shutdown();
+    let appends_b = queue.store_stats().appends;
+    let landed_total = queue.service().stats().landed;
+    let commits = {
+        let repo = queue.repository();
+        repo.log(repo.head()).expect("mainline log").len() as u64
+    };
+    let queue_depth_after = queue.queue_depth() as u64;
+
+    let both = |name: &str| metrics_a.counter(name) + metrics_b.counter(name);
+    ServerBenchReport {
+        params: params.clone(),
+        sequential: SequentialCell {
+            changes: w.changes.len() as u64,
+            landed: w.changes.len() as u64,
+        },
+        durability: DurabilityCell {
+            burst: params.burst as u64,
+            acked,
+            landed_after_restart,
+            lost: acked - landed_after_restart,
+            queue_depth_after,
+        },
+        totals: TotalsCell {
+            requests_enqueue: both("server.requests.enqueue"),
+            enqueues_acked: both("server.enqueues.acked"),
+            busy_replies: both("server.busy_replies"),
+            tickets_processed: both("server.tickets.processed"),
+            journal_appends: appends_a + appends_b,
+            landed: landed_total,
+            commits,
+        },
+        timing: TimingCell {
+            elapsed_nanos,
+            requests,
+            ack_p50: quantile(&lat, "server.ack_micros", 0.50),
+            ack_p95: quantile(&lat, "server.ack_micros", 0.95),
+            ack_p99: quantile(&lat, "server.ack_micros", 0.99),
+            verdict_p50: quantile(&lat, "server.verdict_micros", 0.50),
+            verdict_p95: quantile(&lat, "server.verdict_micros", 0.95),
+            verdict_p99: quantile(&lat, "server.verdict_micros", 0.99),
+        },
+    }
+}
+
+/// Required keys of the `"sequential"` section.
+const SEQUENTIAL_KEYS: &[&str] = &["changes", "landed"];
+
+/// Required keys of the `"durability"` section.
+const DURABILITY_KEYS: &[&str] = &[
+    "burst",
+    "acked",
+    "landed_after_restart",
+    "lost",
+    "queue_depth_after",
+];
+
+/// Required keys of the `"totals"` section.
+const TOTALS_KEYS: &[&str] = &[
+    "requests_enqueue",
+    "enqueues_acked",
+    "busy_replies",
+    "tickets_processed",
+    "journal_appends",
+    "landed",
+    "commits",
+];
+
+/// Validate a benchmark document: it must parse as JSON, carry the
+/// schema and parameters, every section must be complete, and `lost`
+/// must be zero. Returns the first problem found.
+pub fn validate(json: &str) -> Result<(), String> {
+    use serde::__private::Value;
+    let value: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Value::Map(entries) = value else {
+        return Err("top level is not an object".to_string());
+    };
+    let field = |key: &str| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    match field("schema") {
+        Some(Value::Str(s)) if s == "sq-bench-server/v1" => {}
+        _ => return Err("missing or unexpected schema".to_string()),
+    }
+    let Some(Value::Map(params)) = field("params") else {
+        return Err("\"params\" is not an object".to_string());
+    };
+    for key in [
+        "seed",
+        "n_parts",
+        "n_changes",
+        "burst",
+        "window",
+        "snapshot_every",
+        "transport",
+    ] {
+        if !params.iter().any(|(k, _)| k == key) {
+            return Err(format!("missing key params.{key}"));
+        }
+    }
+    for (section, keys) in [
+        ("sequential", SEQUENTIAL_KEYS),
+        ("durability", DURABILITY_KEYS),
+        ("totals", TOTALS_KEYS),
+    ] {
+        let Some(Value::Map(m)) = field(section) else {
+            return Err(format!("\"{section}\" is not an object"));
+        };
+        for key in keys {
+            if !m.iter().any(|(k, _)| k == key) {
+                return Err(format!("missing key {section}.{key}"));
+            }
+        }
+    }
+    let Some(Value::Map(durability)) = field("durability") else {
+        unreachable!("checked above");
+    };
+    match durability.iter().find(|(k, _)| k == "lost") {
+        Some((_, Value::U64(0))) => Ok(()),
+        _ => Err("acked enqueues were lost across the restart".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServerBenchParams {
+        ServerBenchParams {
+            seed: 7,
+            n_parts: 8,
+            n_changes: 4,
+            burst: 3,
+            window: 2,
+            snapshot_every: 8,
+            rate: 0.0,
+            use_uds: false,
+        }
+    }
+
+    #[test]
+    fn tiny_run_is_deterministic_and_passes_the_gate() {
+        let a = run_server_bench(&tiny());
+        a.smoke_gate().expect("gate holds");
+        validate(&a.to_json()).expect("document is valid");
+        let b = run_server_bench(&tiny());
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "committed document must be byte-reproducible"
+        );
+        assert_eq!(a.durability.lost, 0);
+        assert_eq!(a.sequential.landed, 4);
+        assert!(a.timing.requests > 0);
+    }
+
+    #[test]
+    fn validate_flags_malformed_documents() {
+        assert!(validate("nope").is_err());
+        assert!(validate("{}").unwrap_err().contains("schema"));
+        assert!(validate(r#"{"schema":"sq-bench-server/v1"}"#)
+            .unwrap_err()
+            .contains("params"));
+        let lost = r#"{"schema":"sq-bench-server/v1",
+            "params":{"seed":1,"n_parts":8,"n_changes":4,"burst":2,"window":2,
+                      "snapshot_every":8,"transport":"tcp"},
+            "sequential":{"changes":4,"landed":4},
+            "durability":{"burst":2,"acked":2,"landed_after_restart":1,"lost":1,
+                          "queue_depth_after":0},
+            "totals":{"requests_enqueue":6,"enqueues_acked":6,"busy_replies":0,
+                      "tickets_processed":6,"journal_appends":20,"landed":5,
+                      "commits":6}}"#;
+        assert!(validate(lost).unwrap_err().contains("lost"));
+    }
+}

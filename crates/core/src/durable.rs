@@ -138,11 +138,17 @@ pub enum ServiceEvent {
     },
 }
 
-fn encode_commit(enc: &mut Encoder, c: CommitId) {
+/// Append a commit id to `enc` as a 32-byte length-prefixed blob.
+/// Shared wire idiom between the journal events here and the
+/// `sq-server` request protocol, so both layers refuse the same
+/// malformed shapes.
+pub fn encode_commit(enc: &mut Encoder, c: CommitId) {
     enc.put_bytes(c.0.as_bytes());
 }
 
-fn decode_commit(dec: &mut Decoder<'_>) -> Result<CommitId, CodecError> {
+/// Inverse of [`encode_commit`]; refuses blobs that are not exactly 32
+/// bytes.
+pub fn decode_commit(dec: &mut Decoder<'_>) -> Result<CommitId, CodecError> {
     let raw = dec.bytes()?;
     let arr: [u8; 32] = raw.try_into().map_err(|_| CodecError {
         what: "commit id is not 32 bytes",
@@ -151,7 +157,9 @@ fn decode_commit(dec: &mut Decoder<'_>) -> Result<CommitId, CodecError> {
     Ok(CommitId(ObjectId::from_raw(arr)))
 }
 
-fn encode_patch(enc: &mut Encoder, patch: &Patch) {
+/// Append a patch to `enc` as a tagged file-op list (also shared with
+/// the `sq-server` wire protocol).
+pub fn encode_patch(enc: &mut Encoder, patch: &Patch) {
     let ops: Vec<&FileOp> = patch.ops().collect();
     enc.put_u32(u32::try_from(ops.len()).expect("patch op count fits in u32"));
     for op in ops {
@@ -169,7 +177,9 @@ fn encode_patch(enc: &mut Encoder, patch: &Patch) {
     }
 }
 
-fn decode_patch(dec: &mut Decoder<'_>) -> Result<Patch, CodecError> {
+/// Inverse of [`encode_patch`]; refuses unknown file-op tags and
+/// invalid repo paths.
+pub fn decode_patch(dec: &mut Decoder<'_>) -> Result<Patch, CodecError> {
     let bad_path = |_| CodecError {
         what: "invalid repo path in patch",
         offset: 0,
@@ -816,6 +826,14 @@ impl<W: Wal> DurableSubmitQueue<W> {
         self.service.status(ticket)
     }
 
+    /// Number of changes waiting in the speculation queue (acked but
+    /// not yet landed or rejected). The serving layer uses this as its
+    /// admission-control signal: past a configured bound it answers
+    /// `Busy` instead of journaling another enqueue.
+    pub fn queue_depth(&self) -> usize {
+        self.ctx.lock().state.queue.len()
+    }
+
     /// Assert that every ticket state in the durable mirror matches the
     /// live service — the lockstep invariant failover re-checks before
     /// a promoted replica serves. (Head equality is deliberately NOT
@@ -862,21 +880,26 @@ impl<W: Wal> DurableSubmitQueue<W> {
         *self.ctx.lock().store.stats()
     }
 
-    /// Record storage counters and recovery histograms into a metrics
-    /// registry (under `store.*`).
+    /// Record storage counters and recovery gauges into a metrics
+    /// registry (under `store.*`). `StoreStats` carries cumulative
+    /// lifetime totals, so counters are reconciled via
+    /// [`MetricsRegistry::record_total`] and the point-in-time values
+    /// (last snapshot size, recovery replay cost) are gauges — the
+    /// export is idempotent under the periodic re-export a serving
+    /// process performs.
     pub fn record_into(&self, metrics: &mut MetricsRegistry) {
         let st = self.store_stats();
-        metrics.add("store.journal.appends", st.appends);
-        metrics.add("store.journal.appended_bytes", st.appended_bytes);
-        metrics.add("store.journal.fsyncs", st.fsyncs);
-        metrics.add("store.snapshot.writes", st.snapshots);
-        metrics.add("store.recovery.replayed_records", st.replayed_records);
-        metrics.add(
+        metrics.record_total("store.journal.appends", st.appends);
+        metrics.record_total("store.journal.appended_bytes", st.appended_bytes);
+        metrics.record_total("store.journal.fsyncs", st.fsyncs);
+        metrics.record_total("store.snapshot.writes", st.snapshots);
+        metrics.record_total("store.recovery.replayed_records", st.replayed_records);
+        metrics.record_total(
             "store.recovery.truncated_tail_bytes",
             st.truncated_tail_bytes,
         );
-        metrics.observe("store.snapshot.bytes", st.last_snapshot_bytes as f64);
-        metrics.observe("store.recovery.replay_micros", st.replay_micros as f64);
+        metrics.set_gauge("store.snapshot.bytes", st.last_snapshot_bytes as f64);
+        metrics.set_gauge("store.recovery.replay_micros", st.replay_micros as f64);
     }
 }
 
@@ -1153,6 +1176,18 @@ mod tests {
         dq.record_into(&mut metrics);
         assert!(metrics.counter("store.journal.appends") >= 2);
         assert!(metrics.counter("store.journal.fsyncs") >= 2);
-        assert!(metrics.histogram("store.recovery.replay_micros").is_some());
+        assert!(metrics.gauge("store.recovery.replay_micros").is_some());
+    }
+
+    #[test]
+    fn store_export_is_idempotent_across_repeated_exports() {
+        // Regression for the cumulative-total-into-counter bug class:
+        // exporting the same StoreStats snapshot twice must report the
+        // same values as exporting it once.
+        let storage = shared(CrashPlan::none());
+        let dq = open(demo_repo(), &storage);
+        dq.submit("alice", "v1", dq.head(), lib_patch(1)).unwrap();
+        dq.run_until_idle(&always_pass()).unwrap();
+        sq_obs::assert_idempotent_export(|m| dq.record_into(m));
     }
 }

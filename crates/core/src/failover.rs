@@ -296,19 +296,24 @@ impl<S: Storage + Clone> DurableSubmitQueue<Leader<S>> {
             )
         };
         metrics.set_gauge("replication.epoch", epoch as f64);
+        // `ReplicationStats` carries cumulative lifetime totals, so the
+        // export reconciles counters against the totals instead of
+        // `add()`ing them: a periodic exporter (the server's `Stats`
+        // handler) hands the same snapshot over repeatedly, and
+        // re-adding a running total double-counts on every pass.
         // Epoch 1 is the founding leader; every bump is a promotion.
-        metrics.add("replication.promotions", epoch.saturating_sub(1));
-        metrics.add("replication.ships", stats.ships);
-        metrics.add("replication.shipped_records", stats.shipped_records);
-        metrics.add("replication.shipped_bytes", stats.shipped_bytes);
-        metrics.add("replication.acked_quorum", stats.acked_quorum);
-        metrics.add("replication.degraded_acks", stats.degraded_acks);
-        metrics.add("replication.link_drops", stats.link_drops);
-        metrics.add("replication.fence_refusals", stats.fence_refusals);
-        metrics.add("replication.resyncs", stats.resyncs);
-        metrics.add("replication.snapshots_installed", stats.snapshots_installed);
-        metrics.add("replication.reconnects", stats.reconnects);
-        metrics.add(
+        metrics.record_total("replication.promotions", epoch.saturating_sub(1));
+        metrics.record_total("replication.ships", stats.ships);
+        metrics.record_total("replication.shipped_records", stats.shipped_records);
+        metrics.record_total("replication.shipped_bytes", stats.shipped_bytes);
+        metrics.record_total("replication.acked_quorum", stats.acked_quorum);
+        metrics.record_total("replication.degraded_acks", stats.degraded_acks);
+        metrics.record_total("replication.link_drops", stats.link_drops);
+        metrics.record_total("replication.fence_refusals", stats.fence_refusals);
+        metrics.record_total("replication.resyncs", stats.resyncs);
+        metrics.record_total("replication.snapshots_installed", stats.snapshots_installed);
+        metrics.record_total("replication.reconnects", stats.reconnects);
+        metrics.record_total(
             "replication.follower_truncated_bytes",
             stats.follower_truncated_bytes,
         );
@@ -325,10 +330,10 @@ impl<S: Storage + Clone> DurableSubmitQueue<Leader<S>> {
             );
         }
         for records in &samples.batch_records {
-            metrics.observe("replication.ship.batch_records", f64::from(*records));
+            metrics.observe("replication.ship.batch_records", *records as f64);
         }
         for bytes in &samples.batch_bytes {
-            metrics.observe("replication.ship.batch_bytes", f64::from(*bytes));
+            metrics.observe("replication.ship.batch_bytes", *bytes as f64);
         }
     }
 }
@@ -609,6 +614,49 @@ mod tests {
         assert!(metrics_a.contains("replication.follower.0.lag"));
         assert!(metrics_a.contains("replication.ship.batch_records"));
         assert!(metrics_a.contains("replication.promotions"));
+    }
+
+    /// Regression for the double-counting family: `ReplicationStats`
+    /// are cumulative lifetime totals, and the old exporter `add()`ed
+    /// them into counters on every call, so a periodic export (the
+    /// server's `Stats` handler) reported 2x/3x the true totals. Two
+    /// sequential exports into one registry must now equal one.
+    #[test]
+    fn replication_export_is_idempotent_across_repeated_exports() {
+        let (dq, _ls, f1, _f2) = open_two_follower_leader(AckMode::Quorum);
+        for v in 0..3 {
+            dq.submit("alice", format!("v{v}"), dq.head(), lib_patch(v))
+                .unwrap();
+            dq.run_until_idle(&always_pass()).unwrap();
+        }
+        // Sanity: the first export reports the true totals...
+        let mut once = MetricsRegistry::new();
+        dq.record_replication_deterministic_into(&mut once);
+        let stats = dq.replication_stats();
+        assert_eq!(once.counter("replication.ships"), stats.ships);
+        // ...and a second export of the same snapshot changes nothing.
+        dq.record_replication_deterministic_into(&mut once);
+        assert_eq!(once.counter("replication.ships"), stats.ships);
+        sq_obs::assert_idempotent_export(|m| dq.record_replication_deterministic_into(m));
+
+        // Promotions survive the same discipline: the counter derives
+        // from the fencing epoch, not from re-adding `epoch - 1`.
+        let repo = dq.repository();
+        drop(dq);
+        let (promoted, _) = promote_from_follower(
+            repo,
+            2,
+            RecoveryConfig::disabled(),
+            f1.clone(),
+            cfg(),
+            repl(AckMode::Quorum),
+            1,
+        )
+        .unwrap();
+        let mut m = MetricsRegistry::new();
+        promoted.record_replication_deterministic_into(&mut m);
+        promoted.record_replication_deterministic_into(&mut m);
+        assert_eq!(m.counter("replication.promotions"), 1);
     }
 
     #[test]

@@ -57,10 +57,14 @@ impl IndexStats {
     /// gauge. Safe to call with a same-seed-deterministic registry: all
     /// exported values are pure functions of the queries made, except
     /// `parallel_ms`, which is 0 unless a parallel batch actually ran.
+    /// Counters reconcile via
+    /// [`record_total`](MetricsRegistry::record_total): the fields are
+    /// cumulative lifetime totals, so re-exporting the same snapshot
+    /// periodically must not double-count.
     pub fn record_into(&self, metrics: &mut MetricsRegistry) {
-        metrics.add("analyzer.cache_hits", self.cache_hits);
-        metrics.add("analyzer.cache_misses", self.cache_misses);
-        metrics.add("analyzer.pairs_checked", self.pairs_checked);
+        metrics.record_total("analyzer.cache_hits", self.cache_hits);
+        metrics.record_total("analyzer.cache_misses", self.cache_misses);
+        metrics.record_total("analyzer.pairs_checked", self.pairs_checked);
         metrics.set_gauge("analyzer.parallel_ms", self.parallel_nanos as f64 / 1e6);
     }
 }
@@ -398,5 +402,12 @@ mod tests {
         assert_eq!(metrics.counter("analyzer.cache_misses"), 3);
         assert_eq!(metrics.counter("analyzer.pairs_checked"), 1);
         assert_eq!(metrics.gauge("analyzer.parallel_ms"), Some(0.0));
+        // Regression for the cumulative-total-into-counter bug class:
+        // a second export of the same snapshot must change nothing.
+        ix.stats().record_into(&mut metrics);
+        assert_eq!(metrics.counter("analyzer.cache_misses"), 3);
+        assert_eq!(metrics.counter("analyzer.pairs_checked"), 1);
+        let stats = ix.stats();
+        sq_obs::assert_idempotent_export(|m| stats.record_into(m));
     }
 }

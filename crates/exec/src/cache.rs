@@ -46,10 +46,14 @@ impl CacheStats {
     }
 
     /// Record these statistics into a metrics registry under the
-    /// `cache.` namespace (counters plus a hit-rate gauge).
+    /// `cache.` namespace (counters plus a hit-rate gauge). `hits` and
+    /// `misses` are cumulative lifetime totals, so they reconcile via
+    /// [`record_total`](sq_obs::MetricsRegistry::record_total) — a
+    /// periodic exporter handing the same snapshot over twice must not
+    /// double-count.
     pub fn record_into(&self, metrics: &mut sq_obs::MetricsRegistry) {
-        metrics.add("cache.hits", self.hits);
-        metrics.add("cache.misses", self.misses);
+        metrics.record_total("cache.hits", self.hits);
+        metrics.record_total("cache.misses", self.misses);
         metrics.set_gauge("cache.entries", self.entries as f64);
         metrics.set_gauge("cache.hit_rate", self.hit_rate());
     }
@@ -251,5 +255,24 @@ mod tests {
             .insert_if_success(h, StepKind::Compile, &StepOutcome::Success)
             .is_some());
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn stats_export_is_idempotent_across_repeated_exports() {
+        // Regression for the cumulative-total-into-counter bug class:
+        // hits/misses are lifetime totals, so exporting the same
+        // snapshot twice must equal exporting it once.
+        let mut cache = ArtifactCache::new();
+        let h = hash_of("v1");
+        cache.lookup(h, StepKind::Compile); // miss
+        cache.insert(h, StepKind::Compile);
+        cache.lookup(h, StepKind::Compile); // hit
+        let stats = cache.stats();
+        sq_obs::assert_idempotent_export(|m| stats.record_into(m));
+        let mut m = sq_obs::MetricsRegistry::new();
+        stats.record_into(&mut m);
+        stats.record_into(&mut m);
+        assert_eq!(m.counter("cache.hits"), 1);
+        assert_eq!(m.counter("cache.misses"), 1);
     }
 }

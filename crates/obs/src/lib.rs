@@ -16,6 +16,10 @@
 //! * [`Observer`] — the pair of them, as passed through the planner and
 //!   executor hot paths. A disabled observer costs one branch per call
 //!   site, so the uninstrumented configurations stay honest baselines.
+//! * [`check`] — the exporter-hygiene harness: periodic exporters must
+//!   be idempotent (same snapshot exported twice == exported once), and
+//!   [`check::exporter_idempotence`] is the shared regression check
+//!   every `record_*_into` in the workspace runs under.
 //! * [`json`] — the tiny hand-rolled JSON writer both exports share. No
 //!   external dependency: exports must stay byte-stable across runs, so
 //!   the serializer is owned here and floats go through Rust's shortest
@@ -29,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use check::{assert_idempotent_export, exporter_idempotence};
 pub use json::JsonWriter;
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use trace::{SpanId, Tracer};

@@ -233,6 +233,29 @@ impl MetricsRegistry {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Reconcile counter `name` against a *cumulative running total*
+    /// maintained by the instrumented subsystem (e.g. a `*Stats`
+    /// struct's lifetime totals). The counter is raised to `total` and
+    /// never lowered, so periodic exporters can hand the same snapshot
+    /// over and over without double counting: exporting a total of 7
+    /// twice leaves the counter at 7, not 14. `add` is the wrong tool
+    /// for such sources — it is reserved for per-event deltas.
+    ///
+    /// A `total` below the current counter value is left as-is rather
+    /// than clamped down; cumulative sources are monotone, so a smaller
+    /// total means the caller mixed two sources under one name.
+    pub fn record_total(&mut self, name: &str, total: u64) {
+        if !self.enabled {
+            return;
+        }
+        match self.counters.get_mut(name) {
+            Some(c) => *c = (*c).max(total),
+            None => {
+                self.counters.insert(name.to_string(), total);
+            }
+        }
+    }
+
     /// Set gauge `name` to `v` (last write wins).
     pub fn set_gauge(&mut self, name: &str, v: f64) {
         if !self.enabled {

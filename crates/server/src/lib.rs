@@ -1,0 +1,35 @@
+//! # sq-server — the serving layer
+//!
+//! ROADMAP item 3 ("Serve it"): the paper's SubmitQueue is a service
+//! thousands of engineers hit concurrently, so the reproduction fronts
+//! [`DurableSubmitQueue`](sq_core::DurableSubmitQueue) with a real
+//! socket instead of an in-process simulation loop.
+//!
+//! * [`protocol`] — the length-prefixed, CRC-framed binary protocol
+//!   (`Enqueue`, `Status`, `SubscribeVerdict`, `Stats`, `Head`),
+//!   reusing the journal's codec and checksum so a frame arrives
+//!   exactly as framed or is refused whole.
+//! * [`server`] — the thread-per-core request loop over TCP and
+//!   Unix-domain listeners: bounded backpressure with explicit `Busy`
+//!   replies, journal-before-ack enqueues, graceful drain that loses
+//!   zero acked work across a restart.
+//! * [`client`] — a blocking client with an explicit pipelining split,
+//!   used by the `bench_server` load generator and the tests.
+//!
+//! The companion load generator lives in `sq-bench` as `bench_server`;
+//! its `--smoke` gate (zero lost acks across a drain/restart,
+//! byte-identical deterministic metrics subset) runs in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    decode_frame, encode_frame, ErrorCode, FrameError, FramePoll, FrameReadError, FrameReader,
+    Request, Response, WireError, WireTicketState, MAX_FRAME_BYTES,
+};
+pub use server::{Endpoint, Server, ServerConfig};

@@ -494,10 +494,13 @@ pub struct ReplicationStats {
 /// non-deterministic series — byte-stable exports must omit it.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShipSamples {
-    /// Records per successfully shipped frame.
-    pub batch_records: Vec<u32>,
-    /// Wire bytes per successfully shipped frame.
-    pub batch_bytes: Vec<u32>,
+    /// Records per successfully shipped frame. `u64` so no batch size
+    /// is ever clamped: an earlier revision narrowed to `u32` with a
+    /// silent `min(u32::MAX)`, which would misreport exactly the
+    /// oversized batches worth alarming on.
+    pub batch_records: Vec<u64>,
+    /// Wire bytes per successfully shipped frame (unclamped, as above).
+    pub batch_bytes: Vec<u64>,
     /// Wall-clock append-to-ack latency per append, microseconds.
     pub ack_micros: Vec<u64>,
 }
@@ -509,9 +512,8 @@ const SAMPLE_CAP: usize = 65_536;
 impl ShipSamples {
     fn push_frame(&mut self, records: usize, bytes: usize) {
         if self.batch_records.len() < SAMPLE_CAP {
-            self.batch_records
-                .push(records.min(u32::MAX as usize) as u32);
-            self.batch_bytes.push(bytes.min(u32::MAX as usize) as u32);
+            self.batch_records.push(records as u64);
+            self.batch_bytes.push(bytes as u64);
         }
     }
 

@@ -57,4 +57,7 @@ cargo run --release -p sq-bench --bin bench_scenarios -- --smoke
 echo "==> bench_replication --smoke (zero-loss gate: seeded failover, byte-identical state vs uncrashed twin)"
 cargo run --release -p sq-bench --bin bench_replication -- --smoke
 
+echo "==> bench_server --smoke (serving layer: zero lost acks across graceful drain/restart, byte-identical rerun)"
+cargo run --release -p sq-bench --bin bench_server -- --smoke
+
 echo "All checks passed."
