@@ -1,7 +1,8 @@
 //! The adversarial scenario matrix, machine-readable.
 //!
 //! Runs every named scenario (baseline, revert-storm, flaky-cluster,
-//! hub-touch, diurnal-spike) through every scheduling strategy, audits
+//! hub-touch, diurnal-spike, shard-stress) through every scheduling
+//! strategy, audits
 //! each run, and writes one JSON document per scenario plus the combined
 //! matrix document.
 //!

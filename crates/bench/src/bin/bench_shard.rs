@@ -1,0 +1,131 @@
+//! Sharded-planner scaling benchmark: the same workload through one
+//! global planning window and through the sharded multi-lane planner,
+//! under the same load-adaptive planning-cost model, on the same worker
+//! fleet.
+//!
+//! Default mode runs the recorded configuration (12k changes/hour —
+//! above what a single window can schedule, below what the fleet can
+//! build) and writes the deterministic document to
+//! `results/BENCH_shard.json` under the repository root; `--smoke` runs
+//! the small configuration **twice**, fails unless the two documents
+//! are byte-identical and every gate holds (always-green, zero wrongful
+//! rejections globally and per lane, sharded sustained ≥ single-queue),
+//! and writes under `target/figures/`. `--out <path>` overrides the
+//! destination in either mode (this is how the committed file at the
+//! repo root is refreshed: `bench_shard --out BENCH_shard.json`). Both
+//! modes validate the emitted JSON before writing it.
+
+use sq_bench::shard::{run_shard_bench, validate, ShardBenchParams};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_override = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("[bench_shard] FAIL: --out requires an argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+    let params = if smoke {
+        ShardBenchParams::smoke()
+    } else {
+        ShardBenchParams::standard()
+    };
+    println!(
+        "[bench_shard] {} run: seed={} rate={}/h changes={} shards={} workers={} \
+         planning={}ms+{}ms/pending",
+        if smoke { "smoke" } else { "standard" },
+        params.seed,
+        params.rate_per_hour,
+        params.n_changes(),
+        params.n_shards,
+        params.total_workers,
+        params.planning_base_ms,
+        params.planning_per_pending_ms,
+    );
+    let report = run_shard_bench(&params);
+    for cell in [&report.single, &report.sharded] {
+        println!(
+            "[bench_shard] {:<12} sustained {:>8.0}/h | commits {:>5} | rejects {:>4} | \
+             P50 {:>7.1}m P95 {:>7.1}m | green={} wrongful={}",
+            cell.label,
+            cell.sustained_per_hour,
+            cell.commits,
+            cell.rejects,
+            cell.p50_mins,
+            cell.p95_mins,
+            cell.green,
+            cell.wrongful,
+        );
+    }
+    for l in &report.lanes {
+        println!(
+            "[bench_shard]   lane {:<8} workers {:>4} | routed {:>5} | committed {:>5} | \
+             rejected {:>4} | wrongful {}",
+            l.name, l.workers, l.routed, l.committed, l.rejected, l.wrongful
+        );
+    }
+    if let Err(e) = report.smoke_gate() {
+        eprintln!("[bench_shard] FAIL: gate: {e}");
+        std::process::exit(1);
+    }
+    if smoke {
+        // Byte-reproducibility: a same-seed rerun must emit the
+        // identical deterministic document.
+        let rerun = run_shard_bench(&params);
+        if rerun.to_json() != report.to_json() {
+            eprintln!(
+                "[bench_shard] FAIL: deterministic document diverged across same-seed reruns"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "[bench_shard] gate ok: green, zero wrongful, sharded ≥ single-queue, reproducible"
+        );
+    } else {
+        println!(
+            "[bench_shard] gate ok: sharded {:.0}/h ≥ {:.0}/h floor, single-queue {:.0}/h below it",
+            report.sharded.sustained_per_hour,
+            params.throughput_floor,
+            report.single.sustained_per_hour,
+        );
+    }
+    let json = report.to_json();
+    if let Err(e) = validate(&json) {
+        eprintln!("[bench_shard] FAIL: emitted document is invalid: {e}");
+        std::process::exit(1);
+    }
+    let path = match out_override {
+        Some(out) => {
+            let p = PathBuf::from(out);
+            if p.is_absolute() {
+                p
+            } else {
+                repo_root().join(p)
+            }
+        }
+        None if smoke => sq_bench::figures_dir().join("BENCH_shard_smoke.json"),
+        None => repo_root().join("results").join("BENCH_shard.json"),
+    };
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&path, &json).expect("write benchmark JSON");
+    println!(
+        "[bench_shard] ok: wrote {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench/ -> crates/ -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf()
+}

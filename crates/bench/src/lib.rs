@@ -21,6 +21,7 @@
 //! | `bench_scenarios`   | adversarial scenario matrix (`BENCH_scenarios.json`)|
 //! | `bench_replication` | WAL shipping + failover (`BENCH_replication.json`)  |
 //! | `bench_server`      | live-socket serving layer (`BENCH_server.json`)     |
+//! | `bench_shard`       | sharded vs single-queue planner (`BENCH_shard.json`)|
 //!
 //! Every binary prints the series to stdout and writes a CSV to
 //! `target/figures/`. Environment knobs: `SQ_BENCH_HOURS` (simulated
@@ -37,6 +38,7 @@ pub mod e2e;
 pub mod replication;
 pub mod scenarios;
 pub mod server;
+pub mod shard;
 
 use sq_core::planner::{run_simulation, PlannerConfig, SimResult};
 use sq_core::predict::LearnedPredictor;

@@ -89,6 +89,16 @@ pub fn violations(runs: &[ScenarioRun]) -> Vec<String> {
                     o.wrongful_rejections
                 ));
             }
+            if let Some(report) = &o.shard_report {
+                for lane in &report.lanes {
+                    if lane.wrongful > 0 {
+                        problems.push(format!(
+                            "{cell}: lane {} has {} wrongful rejection(s)",
+                            lane.name, lane.wrongful
+                        ));
+                    }
+                }
+            }
             if o.result.committed() == 0 {
                 problems.push(format!("{cell}: nothing committed"));
             }
@@ -120,6 +130,7 @@ fn write_scenario(w: &mut JsonWriter, run: &ScenarioRun) {
     w.field_f64("duration_hours", m.duration_hours);
     w.field_u64("workers", m.workers as u64);
     w.field_f64("infra_fault_rate", m.infra_fault_rate);
+    w.field_u64("shards", m.shards as u64);
     w.field_str("arrival", arrival_kind(&m.arrival));
     w.key("adversary");
     w.begin_object();
@@ -164,6 +175,20 @@ fn write_scenario(w: &mut JsonWriter, run: &ScenarioRun) {
         w.field_u64("builds_aborted", o.result.builds_aborted);
         w.field_u64("infra_retries", o.result.infra_retries);
         w.field_u64("quarantined", o.result.quarantined.len() as u64);
+        if let Some(report) = &o.shard_report {
+            w.key("lanes");
+            w.begin_array();
+            for lane in &report.lanes {
+                w.begin_object();
+                w.field_str("name", &lane.name);
+                w.field_u64("routed", lane.routed as u64);
+                w.field_u64("committed", lane.committed as u64);
+                w.field_u64("rejected", lane.rejected as u64);
+                w.field_u64("wrongful", lane.wrongful as u64);
+                w.end_object();
+            }
+            w.end_array();
+        }
         w.end_object();
     }
     w.end_array();

@@ -1,0 +1,561 @@
+//! The sharded-planner scaling benchmark behind `bench_shard`.
+//!
+//! Runs the **same** workload through the planner twice under the
+//! **same** planning-cost model (`PlanningCost`, the paper's Section 6
+//! epoch made load-adaptive):
+//!
+//! * **single-queue** — one global pending window over the whole fleet.
+//!   At monorepo-scale arrival rates the window grows, each planning
+//!   round slows down (`base + per_pending · n`), scheduling falls
+//!   behind, and throughput collapses: the planner, not the workers,
+//!   saturates.
+//! * **sharded** — a [`ShardPlan`] routes each change to its shard's
+//!   planning lane (multi-shard footprints to the arbiter lane), each
+//!   lane plans only its own small window on its own worker split, and
+//!   the conflict graph stays global. Per-lane windows stay bounded, so
+//!   ticks stay fast and throughput tracks the arrival rate.
+//!
+//! The committed document (`BENCH_shard.json` at the repo root) is a
+//! pure function of the parameters — simulated time only, deterministic
+//! floats — so same-seed reruns are byte-identical, which `--smoke`
+//! asserts along with the correctness gates: both runs always-green on
+//! the merged trunk, zero wrongful rejections globally *and per lane*,
+//! and sharded sustained throughput at least the single-queue's. The
+//! recorded configuration additionally gates the headline scale claim:
+//! sharded sustains ≥ 10k changes/hour where single-queue saturates
+//! below.
+
+use sq_core::audit;
+use sq_core::planner::{run_simulation, PlannerConfig, SimResult};
+use sq_core::shard::{PlanningCost, ShardPlan, ShardReport, ShardSpec};
+use sq_core::strategy::{Strategy, StrategyKind};
+use sq_obs::JsonWriter;
+use sq_sim::SimDuration;
+use sq_workload::{Workload, WorkloadBuilder, WorkloadParams};
+
+/// Salt for the predictor-training history (mirrors the scenario
+/// runner's convention: same statistics, disjoint trace).
+const HISTORY_SALT: u64 = 0xA11CE;
+
+/// Parameters of one sharding benchmark run.
+#[derive(Debug, Clone)]
+pub struct ShardBenchParams {
+    /// Master seed (the training history salts it).
+    pub seed: u64,
+    /// Arrival rate in changes/hour.
+    pub rate_per_hour: f64,
+    /// Hours of arrivals replayed.
+    pub hours: f64,
+    /// Logical parts in the cell's repository model.
+    pub n_parts: usize,
+    /// Shards the part space is partitioned into (lanes = shards + 1).
+    pub n_shards: usize,
+    /// Total worker fleet, identical for both configurations.
+    pub total_workers: usize,
+    /// Fixed planning-round cost, in milliseconds of simulated time.
+    pub planning_base_ms: u64,
+    /// Marginal planning cost per pending change, in milliseconds.
+    pub planning_per_pending_ms: u64,
+    /// Training-history size for the SubmitQueue predictor.
+    pub history_changes: usize,
+    /// Headline gate: sharded must sustain at least this rate and
+    /// single-queue must saturate below it (`0.0` disables, as the
+    /// smoke configuration does — relative ordering is still gated).
+    pub throughput_floor: f64,
+}
+
+impl ShardBenchParams {
+    /// The recorded configuration (what `BENCH_shard.json` reports): a
+    /// large cell where the arrival rate exceeds what one planning
+    /// window can schedule but not what the fleet can build.
+    pub fn standard() -> Self {
+        ShardBenchParams {
+            seed: crate::bench_seed(),
+            rate_per_hour: 14_000.0,
+            hours: 0.5,
+            n_parts: 8_192,
+            n_shards: 16,
+            total_workers: 3_600,
+            planning_base_ms: 2_000,
+            planning_per_pending_ms: 700,
+            history_changes: 4_000,
+            throughput_floor: 10_000.0,
+        }
+    }
+
+    /// A small configuration for CI smoke runs: the same saturation
+    /// regime (arrival rate × per-pending cost ≈ 2.3 ≫ 1 for the single
+    /// window, ≲ 0.3 for every lane) at a fraction of the scale.
+    pub fn smoke() -> Self {
+        ShardBenchParams {
+            seed: crate::bench_seed(),
+            rate_per_hour: 2_400.0,
+            hours: 0.5,
+            n_parts: 2_048,
+            n_shards: 8,
+            total_workers: 400,
+            planning_base_ms: 2_000,
+            planning_per_pending_ms: 3_500,
+            history_changes: 800,
+            throughput_floor: 0.0,
+        }
+    }
+
+    /// Changes replayed (`rate × hours`).
+    pub fn n_changes(&self) -> usize {
+        (self.rate_per_hour * self.hours).round() as usize
+    }
+
+    /// The cell's workload profile: iOS-shaped contention over a larger
+    /// part space, with mostly single-part changes (so shard routing has
+    /// a meaningful fast path) and short builds (so the fleet, not build
+    /// latency, sets the worker-bound ceiling).
+    pub fn workload_params(&self) -> WorkloadParams {
+        let mut p = WorkloadParams::ios().with_rate(self.rate_per_hour);
+        p.n_parts = self.n_parts;
+        // At 10k+ changes/hour the repository is far larger than the
+        // iOS cell's 300 parts — contention must scale down with rate
+        // or every run drowns in justified conflict rejections instead
+        // of exercising the planner. A flat-ish popularity curve over a
+        // wide part space keeps real conflicts present but rare.
+        p.part_zipf_s = 0.3;
+        p.mean_parts_per_change = 1.1;
+        p.duration_median_mins = 5.0;
+        p.duration_min_mins = 1.0;
+        p.duration_max_mins = 20.0;
+        p
+    }
+
+    fn planning_cost(&self) -> PlanningCost {
+        PlanningCost {
+            base: SimDuration::from_millis(self.planning_base_ms),
+            per_pending: SimDuration::from_millis(self.planning_per_pending_ms),
+        }
+    }
+}
+
+/// One configuration's outcome (single-queue or sharded).
+#[derive(Debug, Clone)]
+pub struct QueueCell {
+    /// `"single-queue"` or `"sharded"`.
+    pub label: String,
+    /// Changes replayed.
+    pub changes: u64,
+    /// Changes that resolved (must equal `changes`).
+    pub resolved: u64,
+    /// Commits on the merged trunk.
+    pub commits: u64,
+    /// Rejections.
+    pub rejects: u64,
+    /// Whether the merged trunk passed `audit_green`.
+    pub green: bool,
+    /// Whether every rejection had a ground-truth justification.
+    pub rejections_justified: bool,
+    /// Wrongful rejections (must be 0).
+    pub wrongful: u64,
+    /// Sustained commit throughput (inter-quartile window), changes/h.
+    pub sustained_per_hour: f64,
+    /// Average throughput over the makespan, changes/h.
+    pub throughput_per_hour: f64,
+    /// Turnaround P50 in minutes.
+    pub p50_mins: f64,
+    /// Turnaround P95 in minutes.
+    pub p95_mins: f64,
+    /// Turnaround P99 in minutes.
+    pub p99_mins: f64,
+    /// Builds started.
+    pub builds_started: u64,
+    /// Builds aborted.
+    pub builds_aborted: u64,
+    /// Makespan in hours.
+    pub makespan_hours: f64,
+}
+
+impl QueueCell {
+    fn from_result(label: &str, workload: &Workload, r: &SimResult) -> QueueCell {
+        let (p50, p95, p99) = r.turnaround_p50_p95_p99();
+        QueueCell {
+            label: label.to_string(),
+            changes: workload.changes.len() as u64,
+            resolved: r.records.len() as u64,
+            commits: r.committed() as u64,
+            rejects: r.rejected() as u64,
+            green: audit::audit_green(workload, r).is_ok(),
+            rejections_justified: audit::audit_rejections_justified(workload, r).is_ok(),
+            wrongful: audit::count_wrongful_rejections(workload, r) as u64,
+            sustained_per_hour: r.sustained_throughput_per_hour(),
+            throughput_per_hour: r.throughput_per_hour(),
+            p50_mins: p50,
+            p95_mins: p95,
+            p99_mins: p99,
+            builds_started: r.builds_started,
+            builds_aborted: r.builds_aborted,
+            makespan_hours: r.makespan.as_hours_f64(),
+        }
+    }
+}
+
+/// One lane's slice of the sharded run.
+#[derive(Debug, Clone)]
+pub struct LaneCell {
+    /// Lane name (`s00`…, `arbiter`).
+    pub name: String,
+    /// Workers allotted to the lane.
+    pub workers: u64,
+    /// Changes routed to the lane.
+    pub routed: u64,
+    /// Commits from the lane.
+    pub committed: u64,
+    /// Rejections from the lane.
+    pub rejected: u64,
+    /// Wrongful rejections attributed to the lane (must be 0).
+    pub wrongful: u64,
+}
+
+/// A full benchmark report.
+#[derive(Debug, Clone)]
+pub struct ShardBenchReport {
+    /// The parameters the run used.
+    pub params: ShardBenchParams,
+    /// The single-global-window configuration.
+    pub single: QueueCell,
+    /// The sharded multi-lane configuration.
+    pub sharded: QueueCell,
+    /// Per-lane breakdown of the sharded run.
+    pub lanes: Vec<LaneCell>,
+}
+
+impl ShardBenchReport {
+    /// Render the committed machine-readable document. Every field is a
+    /// pure function of the parameters (simulated time only), so reruns
+    /// are byte-identical.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "sq-bench-shard/v1");
+        w.key("params");
+        w.begin_object();
+        w.field_u64("seed", self.params.seed);
+        w.field_f64("rate_per_hour", self.params.rate_per_hour);
+        w.field_f64("hours", self.params.hours);
+        w.field_u64("n_changes", self.params.n_changes() as u64);
+        w.field_u64("n_parts", self.params.n_parts as u64);
+        w.field_u64("n_shards", self.params.n_shards as u64);
+        w.field_u64("total_workers", self.params.total_workers as u64);
+        w.field_u64("planning_base_ms", self.params.planning_base_ms);
+        w.field_u64(
+            "planning_per_pending_ms",
+            self.params.planning_per_pending_ms,
+        );
+        w.field_u64("history_changes", self.params.history_changes as u64);
+        w.field_f64("throughput_floor", self.params.throughput_floor);
+        w.end_object();
+        for cell in [&self.single, &self.sharded] {
+            w.key(&cell.label);
+            w.begin_object();
+            w.field_u64("changes", cell.changes);
+            w.field_u64("resolved", cell.resolved);
+            w.field_u64("commits", cell.commits);
+            w.field_u64("rejects", cell.rejects);
+            w.key("green");
+            w.value_bool(cell.green);
+            w.key("rejections_justified");
+            w.value_bool(cell.rejections_justified);
+            w.field_u64("wrongful_rejections", cell.wrongful);
+            w.field_f64("sustained_per_hour", cell.sustained_per_hour);
+            w.field_f64("throughput_per_hour", cell.throughput_per_hour);
+            w.key("turnaround_mins");
+            w.begin_object();
+            w.field_f64("p50", cell.p50_mins);
+            w.field_f64("p95", cell.p95_mins);
+            w.field_f64("p99", cell.p99_mins);
+            w.end_object();
+            w.field_u64("builds_started", cell.builds_started);
+            w.field_u64("builds_aborted", cell.builds_aborted);
+            w.field_f64("makespan_hours", cell.makespan_hours);
+            w.end_object();
+        }
+        w.key("lanes");
+        w.begin_array();
+        for l in &self.lanes {
+            w.begin_object();
+            w.field_str("name", &l.name);
+            w.field_u64("workers", l.workers);
+            w.field_u64("routed", l.routed);
+            w.field_u64("committed", l.committed);
+            w.field_u64("rejected", l.rejected);
+            w.field_u64("wrongful", l.wrongful);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// The CI gate: both configurations resolve everything and keep the
+    /// merged trunk green with zero wrongful rejections (globally and
+    /// per lane), and sharding never loses throughput. With a
+    /// `throughput_floor`, the headline claim is gated too: sharded
+    /// sustains at least the floor while single-queue saturates below.
+    pub fn smoke_gate(&self) -> Result<(), String> {
+        for cell in [&self.single, &self.sharded] {
+            if cell.resolved != cell.changes {
+                return Err(format!(
+                    "{}: only {} of {} changes resolved",
+                    cell.label, cell.resolved, cell.changes
+                ));
+            }
+            if !cell.green {
+                return Err(format!("{}: merged trunk is not always-green", cell.label));
+            }
+            if !cell.rejections_justified {
+                return Err(format!("{}: a rejection lacks justification", cell.label));
+            }
+            if cell.wrongful != 0 {
+                return Err(format!(
+                    "{}: {} wrongful rejection(s)",
+                    cell.label, cell.wrongful
+                ));
+            }
+        }
+        for l in &self.lanes {
+            if l.wrongful != 0 {
+                return Err(format!(
+                    "lane {}: {} wrongful rejection(s)",
+                    l.name, l.wrongful
+                ));
+            }
+        }
+        let routed: u64 = self.lanes.iter().map(|l| l.routed).sum();
+        if routed != self.sharded.resolved {
+            return Err(format!(
+                "lanes account for {routed} of {} resolved changes",
+                self.sharded.resolved
+            ));
+        }
+        if self.sharded.sustained_per_hour < self.single.sustained_per_hour {
+            return Err(format!(
+                "sharded sustained {:.0}/h below single-queue {:.0}/h",
+                self.sharded.sustained_per_hour, self.single.sustained_per_hour
+            ));
+        }
+        let floor = self.params.throughput_floor;
+        if floor > 0.0 {
+            if self.sharded.sustained_per_hour < floor {
+                return Err(format!(
+                    "sharded sustained {:.0}/h misses the {floor:.0}/h floor",
+                    self.sharded.sustained_per_hour
+                ));
+            }
+            if self.single.sustained_per_hour >= floor {
+                return Err(format!(
+                    "single-queue sustained {:.0}/h did not saturate below {floor:.0}/h",
+                    self.single.sustained_per_hour
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run the benchmark: one workload, two planner configurations, one
+/// per-lane report.
+pub fn run_shard_bench(params: &ShardBenchParams) -> ShardBenchReport {
+    let wl = params.workload_params();
+    let w = WorkloadBuilder::new(wl.clone())
+        .seed(params.seed)
+        .n_changes(params.n_changes())
+        .build()
+        .expect("valid cell parameters");
+    let history = WorkloadBuilder::new(wl)
+        .seed(params.seed ^ HISTORY_SALT)
+        .n_changes(params.history_changes)
+        .build()
+        .expect("valid history parameters");
+    let strategy = Strategy::build(StrategyKind::SubmitQueue, &w, Some(&history));
+    let cost = params.planning_cost();
+
+    let single_cfg = PlannerConfig {
+        workers: params.total_workers,
+        planning_cost: Some(cost),
+        ..PlannerConfig::default()
+    };
+    let plan = ShardPlan::round_robin(params.n_parts, params.n_shards);
+    let spec = ShardSpec::proportional(plan.clone(), &w, params.total_workers);
+    let lane_workers = spec.lane_workers.clone();
+    let sharded_cfg = PlannerConfig {
+        shards: Some(spec),
+        planning_cost: Some(cost),
+        ..PlannerConfig::default()
+    };
+
+    let r_single = run_simulation(&w, &strategy, &single_cfg);
+    let r_sharded = run_simulation(&w, &strategy, &sharded_cfg);
+
+    let report = ShardReport::from_result(&w, &r_sharded, &plan);
+    let lanes = report
+        .lanes
+        .iter()
+        .map(|l| LaneCell {
+            name: l.name.clone(),
+            workers: lane_workers[l.lane] as u64,
+            routed: l.routed as u64,
+            committed: l.committed as u64,
+            rejected: l.rejected as u64,
+            wrongful: l.wrongful as u64,
+        })
+        .collect();
+
+    ShardBenchReport {
+        params: params.clone(),
+        single: QueueCell::from_result("single-queue", &w, &r_single),
+        sharded: QueueCell::from_result("sharded", &w, &r_sharded),
+        lanes,
+    }
+}
+
+/// Required keys of each configuration section.
+const CELL_KEYS: &[&str] = &[
+    "changes",
+    "resolved",
+    "commits",
+    "rejects",
+    "green",
+    "rejections_justified",
+    "wrongful_rejections",
+    "sustained_per_hour",
+    "throughput_per_hour",
+    "turnaround_mins",
+    "builds_started",
+    "builds_aborted",
+    "makespan_hours",
+];
+
+/// Required keys of each lane entry.
+const LANE_KEYS: &[&str] = &[
+    "name",
+    "workers",
+    "routed",
+    "committed",
+    "rejected",
+    "wrongful",
+];
+
+/// Validate a benchmark document: schema, complete parameters and
+/// sections, and the hard invariants (green, zero wrongful rejections
+/// everywhere). Returns the first problem found.
+pub fn validate(json: &str) -> Result<(), String> {
+    use serde::__private::Value;
+    let value: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Value::Map(entries) = value else {
+        return Err("top level is not an object".to_string());
+    };
+    let field = |key: &str| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    match field("schema") {
+        Some(Value::Str(s)) if s == "sq-bench-shard/v1" => {}
+        _ => return Err("missing or unexpected schema".to_string()),
+    }
+    let Some(Value::Map(params)) = field("params") else {
+        return Err("\"params\" is not an object".to_string());
+    };
+    for key in [
+        "seed",
+        "rate_per_hour",
+        "hours",
+        "n_changes",
+        "n_parts",
+        "n_shards",
+        "total_workers",
+        "planning_base_ms",
+        "planning_per_pending_ms",
+        "history_changes",
+        "throughput_floor",
+    ] {
+        if !params.iter().any(|(k, _)| k == key) {
+            return Err(format!("missing key params.{key}"));
+        }
+    }
+    for section in ["single-queue", "sharded"] {
+        let Some(Value::Map(m)) = field(section) else {
+            return Err(format!("\"{section}\" is not an object"));
+        };
+        for key in CELL_KEYS {
+            if !m.iter().any(|(k, _)| k == key) {
+                return Err(format!("missing key {section}.{key}"));
+            }
+        }
+        match m.iter().find(|(k, _)| k == "green") {
+            Some((_, Value::Bool(true))) => {}
+            _ => return Err(format!("{section} is not always-green")),
+        }
+        match m.iter().find(|(k, _)| k == "wrongful_rejections") {
+            Some((_, Value::U64(0))) => {}
+            _ => return Err(format!("{section} has wrongful rejections")),
+        }
+    }
+    let Some(Value::Seq(lanes)) = field("lanes") else {
+        return Err("\"lanes\" is not an array".to_string());
+    };
+    if lanes.is_empty() {
+        return Err("no lanes recorded".to_string());
+    }
+    for (i, lane) in lanes.iter().enumerate() {
+        let Value::Map(m) = lane else {
+            return Err(format!("lanes[{i}] is not an object"));
+        };
+        for key in LANE_KEYS {
+            if !m.iter().any(|(k, _)| k == key) {
+                return Err(format!("missing key lanes[{i}].{key}"));
+            }
+        }
+        match m.iter().find(|(k, _)| k == "wrongful") {
+            Some((_, Value::U64(0))) => {}
+            _ => return Err(format!("lanes[{i}] has wrongful rejections")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ShardBenchParams {
+        ShardBenchParams {
+            seed: 7,
+            rate_per_hour: 600.0,
+            hours: 0.2,
+            n_parts: 64,
+            n_shards: 4,
+            total_workers: 80,
+            planning_base_ms: 1_000,
+            planning_per_pending_ms: 2_000,
+            history_changes: 200,
+            throughput_floor: 0.0,
+        }
+    }
+
+    #[test]
+    fn tiny_run_is_deterministic_and_passes_the_gate() {
+        let a = run_shard_bench(&tiny());
+        a.smoke_gate().expect("gate holds");
+        validate(&a.to_json()).expect("document is valid");
+        let b = run_shard_bench(&tiny());
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "committed document must be byte-reproducible"
+        );
+        assert_eq!(a.sharded.resolved, a.sharded.changes);
+        assert_eq!(a.lanes.len(), tiny().n_shards + 1);
+    }
+
+    #[test]
+    fn validate_flags_malformed_documents() {
+        assert!(validate("nope").is_err());
+        assert!(validate("{}").unwrap_err().contains("schema"));
+        assert!(validate(r#"{"schema":"sq-bench-shard/v1"}"#)
+            .unwrap_err()
+            .contains("params"));
+    }
+}

@@ -1,0 +1,355 @@
+//! Target-graph partitioning for sharded planning.
+//!
+//! The sharded planner (`sq-core`'s `shard` module) needs a *partition*
+//! of the target universe into mostly-independent shards so that each
+//! shard can run its own speculation engine. This module computes that
+//! partition over the interned dense-id view of a [`BuildGraph`]
+//! (reusing [`bitset::Interner`]) under one of two rules:
+//!
+//! * **Connected components** — union-find over the (undirected)
+//!   dependency edges. Two targets in different components share no
+//!   dependency path, so *no cross-shard dependency edge exists by
+//!   construction*. This is the strongest isolation but monorepos with
+//!   a common core library collapse to one giant component.
+//! * **Top-level project** — group by the first path segment of the
+//!   target's package (`//vision/detect:lib` → `vision`), the Google
+//!   *Smart Build Targets Batching Service* batching key. Cross-shard
+//!   dependency edges are possible (e.g. every project depending on
+//!   `//base`); each one is recorded in the partition metadata so the
+//!   planner can route changes touching both sides to the arbiter lane.
+//!
+//! Both rules are deterministic: targets are interned in the graph's
+//! sorted name order and shards are numbered by first appearance, so the
+//! same graph always yields byte-identical shard assignments regardless
+//! of thread count or hash-map iteration order.
+
+use crate::bitset::Interner;
+use crate::graph::{BuildGraph, TargetName};
+
+/// How targets are grouped into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardRule {
+    /// Union-find connected components of the dependency graph.
+    ConnectedComponents,
+    /// First path segment of the target's package.
+    TopLevelProject,
+}
+
+/// A dependency edge whose endpoints landed in different shards.
+///
+/// Only the [`ShardRule::TopLevelProject`] rule can produce these;
+/// connected-component partitions have none by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossShardEdge {
+    /// Dense id of the depending target.
+    pub from: u32,
+    /// Dense id of the dependency.
+    pub to: u32,
+    /// Shard of `from`.
+    pub from_shard: u32,
+    /// Shard of `to`.
+    pub to_shard: u32,
+}
+
+/// A deterministic partition of a build graph's targets into shards.
+#[derive(Debug, Clone)]
+pub struct TargetPartition {
+    rule: ShardRule,
+    interner: Interner<TargetName>,
+    /// Dense target id → shard id.
+    shard_of: Vec<u32>,
+    /// Shard id → human-readable name (project prefix or `cc<k>`).
+    shard_names: Vec<String>,
+    /// Shard id → number of member targets.
+    shard_sizes: Vec<usize>,
+    /// Every dependency edge crossing a shard boundary, in deterministic
+    /// (from, to) dense-id order.
+    cross_edges: Vec<CrossShardEdge>,
+}
+
+impl TargetPartition {
+    /// Partition `graph` under `rule`.
+    pub fn new(graph: &BuildGraph, rule: ShardRule) -> TargetPartition {
+        // Intern every target in sorted-name order (BTreeMap iteration),
+        // the deterministic dense-id space everything below indexes.
+        let mut interner = Interner::new();
+        for name in graph.names() {
+            interner.intern(name);
+        }
+        let n = interner.len();
+        match rule {
+            ShardRule::ConnectedComponents => {
+                let mut uf = UnionFind::new(n);
+                for t in graph.targets() {
+                    let a = interner.get(&t.name).expect("interned above");
+                    for d in &t.deps {
+                        let b = interner.get(d).expect("graph is closed");
+                        uf.union(a, b);
+                    }
+                }
+                // Number components by the first dense id they contain.
+                let mut shard_of = vec![u32::MAX; n];
+                let mut shard_names = Vec::new();
+                let mut shard_sizes = Vec::new();
+                let mut root_to_shard = vec![u32::MAX; n];
+                for id in 0..n as u32 {
+                    let root = uf.find(id) as usize;
+                    if root_to_shard[root] == u32::MAX {
+                        root_to_shard[root] = shard_names.len() as u32;
+                        shard_names.push(format!("cc{}", shard_names.len()));
+                        shard_sizes.push(0);
+                    }
+                    let s = root_to_shard[root];
+                    shard_of[id as usize] = s;
+                    shard_sizes[s as usize] += 1;
+                }
+                TargetPartition {
+                    rule,
+                    interner,
+                    shard_of,
+                    shard_names,
+                    shard_sizes,
+                    cross_edges: Vec::new(),
+                }
+            }
+            ShardRule::TopLevelProject => {
+                let mut shard_of = vec![u32::MAX; n];
+                let mut shard_names: Vec<String> = Vec::new();
+                let mut shard_sizes: Vec<usize> = Vec::new();
+                for name in graph.names() {
+                    let id = interner.get(name).expect("interned above");
+                    let project = top_level_project(name);
+                    // Linear scan: shard counts are tiny (dozens), and a
+                    // Vec scan keeps numbering order independent of any
+                    // hash state.
+                    let s = match shard_names.iter().position(|p| p == project) {
+                        Some(s) => s as u32,
+                        None => {
+                            shard_names.push(project.to_string());
+                            shard_sizes.push(0);
+                            (shard_names.len() - 1) as u32
+                        }
+                    };
+                    shard_of[id as usize] = s;
+                    shard_sizes[s as usize] += 1;
+                }
+                let mut cross_edges = Vec::new();
+                for t in graph.targets() {
+                    let a = interner.get(&t.name).expect("interned above");
+                    for d in &t.deps {
+                        let b = interner.get(d).expect("graph is closed");
+                        let (sa, sb) = (shard_of[a as usize], shard_of[b as usize]);
+                        if sa != sb {
+                            cross_edges.push(CrossShardEdge {
+                                from: a,
+                                to: b,
+                                from_shard: sa,
+                                to_shard: sb,
+                            });
+                        }
+                    }
+                }
+                cross_edges.sort_by_key(|e| (e.from, e.to));
+                TargetPartition {
+                    rule,
+                    interner,
+                    shard_of,
+                    shard_names,
+                    shard_sizes,
+                    cross_edges,
+                }
+            }
+        }
+    }
+
+    /// The rule this partition was computed under.
+    pub fn rule(&self) -> ShardRule {
+        self.rule
+    }
+
+    /// Number of shards (0 only for an empty graph).
+    pub fn n_shards(&self) -> usize {
+        self.shard_names.len()
+    }
+
+    /// Number of partitioned targets.
+    pub fn n_targets(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// Shard of a target by name, if the target is in the graph.
+    pub fn shard_of_target(&self, name: &TargetName) -> Option<u32> {
+        self.interner.get(name).map(|id| self.shard_of[id as usize])
+    }
+
+    /// Shard of a target by dense id (panics if out of range).
+    pub fn shard_of_id(&self, id: u32) -> u32 {
+        self.shard_of[id as usize]
+    }
+
+    /// Dense id of a target name, if present (the interning order is the
+    /// graph's sorted name order).
+    pub fn id_of(&self, name: &TargetName) -> Option<u32> {
+        self.interner.get(name)
+    }
+
+    /// Per-target shard assignment, indexed by dense id.
+    pub fn assignments(&self) -> &[u32] {
+        &self.shard_of
+    }
+
+    /// Human-readable shard names, indexed by shard id.
+    pub fn shard_names(&self) -> &[String] {
+        &self.shard_names
+    }
+
+    /// Member counts, indexed by shard id.
+    pub fn shard_sizes(&self) -> &[usize] {
+        &self.shard_sizes
+    }
+
+    /// Every dependency edge crossing shards, sorted by (from, to).
+    pub fn cross_edges(&self) -> &[CrossShardEdge] {
+        &self.cross_edges
+    }
+}
+
+/// First path segment of the target's package (`""` for root-package
+/// targets like `//:all`).
+fn top_level_project(name: &TargetName) -> &str {
+    let pkg = name.package();
+    pkg.split('/').next().unwrap_or(pkg)
+}
+
+/// Textbook union-find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Union by size; ties attach the larger root id under the
+        // smaller for determinism.
+        let (big, small) = if (self.size[ra as usize], rb) > (self.size[rb as usize], ra) {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{RuleKind, Target};
+
+    fn t(label: &str, deps: &[&str]) -> Target {
+        let name = TargetName::resolve(label, "").unwrap();
+        let deps = deps
+            .iter()
+            .map(|d| TargetName::resolve(d, "").unwrap())
+            .collect();
+        Target::new(name, RuleKind::Library, Vec::new(), deps)
+    }
+
+    fn graph(targets: Vec<Target>) -> BuildGraph {
+        BuildGraph::from_targets(targets).unwrap()
+    }
+
+    #[test]
+    fn components_split_independent_projects() {
+        let g = graph(vec![
+            t("//app/a:lib", &["//app/b:lib"]),
+            t("//app/b:lib", &[]),
+            t("//tools/x:bin", &["//tools/y:lib"]),
+            t("//tools/y:lib", &[]),
+        ]);
+        let p = TargetPartition::new(&g, ShardRule::ConnectedComponents);
+        assert_eq!(p.n_shards(), 2);
+        assert!(p.cross_edges().is_empty());
+        let a = p
+            .shard_of_target(&TargetName::resolve("//app/a:lib", "").unwrap())
+            .unwrap();
+        let b = p
+            .shard_of_target(&TargetName::resolve("//app/b:lib", "").unwrap())
+            .unwrap();
+        let x = p
+            .shard_of_target(&TargetName::resolve("//tools/x:bin", "").unwrap())
+            .unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, x);
+        assert_eq!(p.shard_sizes(), &[2, 2]);
+    }
+
+    #[test]
+    fn shared_core_collapses_components() {
+        let g = graph(vec![
+            t("//base:lib", &[]),
+            t("//app/a:lib", &["//base:lib"]),
+            t("//tools/x:bin", &["//base:lib"]),
+        ]);
+        let p = TargetPartition::new(&g, ShardRule::ConnectedComponents);
+        assert_eq!(p.n_shards(), 1);
+        assert_eq!(p.shard_sizes(), &[3]);
+    }
+
+    #[test]
+    fn top_level_records_cross_edges() {
+        let g = graph(vec![
+            t("//base:lib", &[]),
+            t("//app/a:lib", &["//base:lib"]),
+            t("//app/b:lib", &["//app/a:lib"]),
+            t("//tools/x:bin", &["//base:lib"]),
+        ]);
+        let p = TargetPartition::new(&g, ShardRule::TopLevelProject);
+        assert_eq!(p.n_shards(), 3); // app, base, tools (sorted name order)
+        assert_eq!(p.shard_names(), &["app", "base", "tools"]);
+        // Two edges cross: app/a → base and tools/x → base.
+        assert_eq!(p.cross_edges().len(), 2);
+        for e in p.cross_edges() {
+            assert_ne!(e.from_shard, e.to_shard);
+            assert_eq!(p.shard_of_id(e.from), e.from_shard);
+            assert_eq!(p.shard_of_id(e.to), e.to_shard);
+        }
+        // The intra-project app/b → app/a edge is not recorded.
+        let b = p.id_of(&TargetName::resolve("//app/b:lib", "").unwrap());
+        assert!(p.cross_edges().iter().all(|e| Some(e.from) != b));
+    }
+
+    #[test]
+    fn empty_graph_has_no_shards() {
+        let p = TargetPartition::new(&BuildGraph::default(), ShardRule::TopLevelProject);
+        assert_eq!(p.n_shards(), 0);
+        assert_eq!(p.n_targets(), 0);
+    }
+
+    #[test]
+    fn root_package_targets_group_together() {
+        let g = graph(vec![t("//:all", &[]), t("//:dist", &[])]);
+        let p = TargetPartition::new(&g, ShardRule::TopLevelProject);
+        assert_eq!(p.n_shards(), 1);
+        assert_eq!(p.shard_names(), &[""]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the target-graph partitioner: on arbitrary
+//! generated DAGs, a shard assignment must be a true partition (every
+//! target in exactly one shard, sizes summing to the target count),
+//! deterministic across independent runs and across threads, and — for
+//! the top-level-project rule — every dependency edge whose endpoints
+//! land in different shards must appear in the recorded cross-shard
+//! metadata (and none that doesn't). Connected-component partitions must
+//! never record a cross edge, and every edge must connect two targets of
+//! the same component.
+
+use proptest::prelude::*;
+use sq_build::shard::{ShardRule, TargetPartition};
+use sq_build::{BuildGraph, RuleKind, Target, TargetName};
+
+/// Build an acyclic graph of `n` targets spread over `n_projects`
+/// top-level projects; `dep_bits` linearly encodes "target i depends on
+/// target j" for j < i (acyclic by construction).
+fn dag(n: usize, n_projects: usize, dep_bits: &[bool]) -> BuildGraph {
+    let name = |i: usize| {
+        let proj = i % n_projects.max(1);
+        TargetName::resolve(&format!("//proj{proj}/pkg{i}:t{i}"), "").unwrap()
+    };
+    let mut targets = Vec::new();
+    let mut bit = 0usize;
+    for i in 0..n {
+        let mut deps = Vec::new();
+        for j in 0..i {
+            if dep_bits.get(bit).copied().unwrap_or(false) {
+                deps.push(name(j));
+            }
+            bit += 1;
+        }
+        targets.push(Target::new(name(i), RuleKind::Library, Vec::new(), deps));
+    }
+    BuildGraph::from_targets(targets).unwrap()
+}
+
+fn arb_graph() -> impl Strategy<Value = BuildGraph> {
+    // 24 targets need at most 24·23/2 = 276 dependency bits; `dag`
+    // reads only the prefix it needs.
+    (
+        1usize..24,
+        1usize..6,
+        proptest::collection::vec(any::<bool>(), 276..277),
+    )
+        .prop_map(|(n, projects, dep_bits)| dag(n, projects, &dep_bits))
+}
+
+fn assert_is_partition(g: &BuildGraph, p: &TargetPartition) {
+    // Covering: every target has a shard, and every assigned shard id is
+    // a real shard.
+    assert_eq!(p.n_targets(), g.len());
+    for name in g.names() {
+        let s = p.shard_of_target(name).expect("every target is assigned");
+        assert!((s as usize) < p.n_shards(), "shard id out of range");
+    }
+    // Disjoint is structural (one assignment per target); the sizes must
+    // account for every target exactly once.
+    assert_eq!(p.shard_sizes().iter().sum::<usize>(), g.len());
+    assert_eq!(p.shard_sizes().len(), p.n_shards());
+    assert_eq!(p.shard_names().len(), p.n_shards());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn assignment_is_a_true_partition(g in arb_graph()) {
+        for rule in [ShardRule::ConnectedComponents, ShardRule::TopLevelProject] {
+            let p = TargetPartition::new(&g, rule);
+            assert_is_partition(&g, &p);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_threads(g in arb_graph()) {
+        for rule in [ShardRule::ConnectedComponents, ShardRule::TopLevelProject] {
+            let base = TargetPartition::new(&g, rule);
+            // Same thread, fresh computation.
+            let again = TargetPartition::new(&g, rule);
+            prop_assert_eq!(base.assignments(), again.assignments());
+            prop_assert_eq!(base.shard_names(), again.shard_names());
+            prop_assert_eq!(base.cross_edges(), again.cross_edges());
+            // Other threads: hash-state and allocator differences must
+            // not leak into the assignment.
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let g = g.clone();
+                handles.push(std::thread::spawn(move || {
+                    let p = TargetPartition::new(&g, rule);
+                    (
+                        p.assignments().to_vec(),
+                        p.shard_names().to_vec(),
+                        p.cross_edges().to_vec(),
+                    )
+                }));
+            }
+            for h in handles {
+                let (assign, names, edges) = h.join().unwrap();
+                prop_assert_eq!(base.assignments(), &assign[..]);
+                prop_assert_eq!(base.shard_names(), &names[..]);
+                prop_assert_eq!(base.cross_edges(), &edges[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_edges_are_exactly_recorded(g in arb_graph()) {
+        let p = TargetPartition::new(&g, ShardRule::TopLevelProject);
+        // Oracle: walk every dependency edge and classify it.
+        let mut expected = Vec::new();
+        for t in g.targets() {
+            let a = p.id_of(&t.name).unwrap();
+            for d in &t.deps {
+                let b = p.id_of(d).unwrap();
+                if p.shard_of_id(a) != p.shard_of_id(b) {
+                    expected.push((a, b));
+                }
+            }
+        }
+        expected.sort_unstable();
+        let recorded: Vec<(u32, u32)> =
+            p.cross_edges().iter().map(|e| (e.from, e.to)).collect();
+        prop_assert_eq!(recorded, expected);
+        // And each recorded edge carries the endpoints' true shards.
+        for e in p.cross_edges() {
+            prop_assert_eq!(e.from_shard, p.shard_of_id(e.from));
+            prop_assert_eq!(e.to_shard, p.shard_of_id(e.to));
+            prop_assert_ne!(e.from_shard, e.to_shard);
+        }
+    }
+
+    #[test]
+    fn components_have_no_cross_edges_and_respect_deps(g in arb_graph()) {
+        let p = TargetPartition::new(&g, ShardRule::ConnectedComponents);
+        prop_assert!(p.cross_edges().is_empty());
+        // Every dependency edge stays inside one component.
+        for t in g.targets() {
+            let a = p.shard_of_target(&t.name).unwrap();
+            for d in &t.deps {
+                prop_assert_eq!(a, p.shard_of_target(d).unwrap());
+            }
+        }
+    }
+}

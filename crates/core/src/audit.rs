@@ -91,6 +91,12 @@ pub fn audit_rejections_justified(workload: &Workload, result: &SimResult) -> Re
 /// rejected anyway. [`audit_rejections_justified`] is the all-or-nothing
 /// form; the scenario matrix reports (and gates on) this count.
 pub fn count_wrongful_rejections(workload: &Workload, result: &SimResult) -> usize {
+    wrongful_rejections(workload, result).len()
+}
+
+/// The wrongful rejections themselves, in record order — the per-shard
+/// reports attribute each one to the lane that owned the change.
+pub fn wrongful_rejections(workload: &Workload, result: &SimResult) -> Vec<ChangeId> {
     let truth = workload.truth();
     let committed: HashSet<ChangeId> = result.commit_log.iter().copied().collect();
     let resolved_at: HashMap<ChangeId, SimTime> =
@@ -110,7 +116,8 @@ pub fn count_wrongful_rejections(workload: &Workload, result: &SimResult) -> usi
                     c.submit_time < d_committed && truth.real_conflict(c, d)
                 })
         })
-        .count()
+        .map(|rec| rec.id)
+        .collect()
 }
 
 /// Surface a run's recovery picture next to the greenness audits: infra

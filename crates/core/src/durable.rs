@@ -834,6 +834,33 @@ impl<W: Wal> DurableSubmitQueue<W> {
         self.ctx.lock().state.queue.len()
     }
 
+    /// Per-shard view of the speculation queue: queued submissions
+    /// grouped by the top-level directory their patch touches — the
+    /// serving layer's approximation of the planner's part → shard
+    /// routing. A submission whose ops span several top-level
+    /// directories has a cross-shard footprint and groups under
+    /// `"(cross)"`; an empty patch groups under `"(none)"`; a file at
+    /// the repository root counts as its own directory. Keys are sorted,
+    /// so the export is deterministic.
+    pub fn queue_depth_by_dir(&self) -> Vec<(String, usize)> {
+        let ctx = self.ctx.lock();
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for q in &ctx.state.queue {
+            let mut dirs: std::collections::BTreeSet<&str> = Default::default();
+            for op in q.patch.ops() {
+                let path = op.path();
+                dirs.insert(path.components().next().unwrap_or(path.as_str()));
+            }
+            let key = match dirs.len() {
+                0 => "(none)".to_string(),
+                1 => dirs.into_iter().next().unwrap().to_string(),
+                _ => "(cross)".to_string(),
+            };
+            *counts.entry(key).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
     /// Assert that every ticket state in the durable mirror matches the
     /// live service — the lockstep invariant failover re-checks before
     /// a promoted replica serves. (Head equality is deliberately NOT

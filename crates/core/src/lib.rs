@@ -43,6 +43,10 @@
 //! * [`scenario`] — the adversarial scenario-matrix runner: replays
 //!   named `sq-workload` manifests through every strategy and audits
 //!   each run.
+//! * [`shard`] — sharded multi-lane planning: part → shard routing
+//!   plans, per-lane worker splits, the planning-cost model that makes
+//!   one global window saturate, and per-shard reports/audits over the
+//!   merged trunk.
 //! * [`service`] — an embeddable `SubmitQueueService` that runs the full
 //!   stack (real conflict analyzer, real executor) over a materialized
 //!   repository.
@@ -70,6 +74,7 @@ pub mod predict;
 pub mod recovery;
 pub mod scenario;
 pub mod service;
+pub mod shard;
 pub mod speculation;
 pub mod strategy;
 pub mod trunk;
@@ -87,5 +92,6 @@ pub use predict::{LearnedPredictor, OraclePredictor, Predictor};
 pub use recovery::{QuarantineList, RecoveryConfig, RecoveryEvent, RecoveryLog};
 pub use scenario::{run_scenario, ScenarioRun, StrategyOutcome};
 pub use service::{HistoryViolation, SubmitQueueService, TicketId, TicketState};
+pub use shard::{LaneStats, PlanningCost, ShardPlan, ShardReport, ShardSpec};
 pub use speculation::{BuildKey, SpeculationEngine};
 pub use strategy::StrategyKind;

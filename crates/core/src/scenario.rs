@@ -12,6 +12,7 @@
 
 use crate::audit::{audit_green, audit_rejections_justified, count_wrongful_rejections};
 use crate::planner::{run_simulation, PlannerConfig, SimFaults, SimResult};
+use crate::shard::{ShardPlan, ShardReport, ShardSpec};
 use crate::strategy::{Strategy, StrategyKind};
 use sq_workload::{ScenarioManifest, Workload, WorkloadBuilder};
 
@@ -32,12 +33,22 @@ pub struct StrategyOutcome {
     /// Number of wrongful rejections (zero whenever
     /// `rejections_justified` is `Ok`).
     pub wrongful_rejections: usize,
+    /// Per-lane attribution of the run, present when the manifest
+    /// requested sharded planning (`shards > 0`).
+    pub shard_report: Option<ShardReport>,
 }
 
 impl StrategyOutcome {
-    /// Did this run clear both audits with nothing wrongfully rejected?
+    /// Did this run clear both audits with nothing wrongfully rejected —
+    /// globally, and (when sharded) in every lane?
     pub fn clean(&self) -> bool {
-        self.green.is_ok() && self.rejections_justified.is_ok() && self.wrongful_rejections == 0
+        self.green.is_ok()
+            && self.rejections_justified.is_ok()
+            && self.wrongful_rejections == 0
+            && self
+                .shard_report
+                .as_ref()
+                .is_none_or(|r| r.total_wrongful() == 0)
     }
 }
 
@@ -84,15 +95,20 @@ pub fn run_scenario(
     history_changes: usize,
 ) -> Result<ScenarioRun, String> {
     let params = manifest.params()?;
+    let n_parts = params.n_parts;
     let workload = manifest.workload(seed, n_changes)?;
     let history = WorkloadBuilder::new(params)
         .seed(seed ^ HISTORY_SALT)
         .n_changes(history_changes)
         .build()?;
+    let plan = (manifest.shards > 0).then(|| ShardPlan::round_robin(n_parts, manifest.shards));
     let config = PlannerConfig {
         workers: manifest.workers,
         faults: (manifest.infra_fault_rate > 0.0)
             .then(|| SimFaults::at_rate(manifest.infra_fault_rate, seed)),
+        shards: plan
+            .clone()
+            .map(|p| ShardSpec::proportional(p, &workload, manifest.workers)),
         ..PlannerConfig::default()
     };
     let outcomes: Vec<StrategyOutcome> = StrategyKind::all()
@@ -103,12 +119,16 @@ pub fn run_scenario(
             let green = audit_green(&workload, &result);
             let rejections_justified = audit_rejections_justified(&workload, &result);
             let wrongful_rejections = count_wrongful_rejections(&workload, &result);
+            let shard_report = plan
+                .as_ref()
+                .map(|p| ShardReport::from_result(&workload, &result, p));
             StrategyOutcome {
                 kind,
                 result,
                 green,
                 rejections_justified,
                 wrongful_rejections,
+                shard_report,
             }
         })
         .collect();
@@ -142,6 +162,39 @@ mod tests {
             assert_eq!(o.result.records.len(), 40);
         }
         assert!(run.first_violation().is_none());
+    }
+
+    #[test]
+    fn shard_stress_scenario_is_clean_per_lane_and_globally() {
+        let manifest = ScenarioManifest::shard_stress();
+        assert!(manifest.shards > 0, "manifest must request sharding");
+        let run = run_scenario(&manifest, 5, 60, 400).unwrap();
+        for o in &run.outcomes {
+            let report = o
+                .shard_report
+                .as_ref()
+                .expect("sharded scenarios carry a per-lane report");
+            assert_eq!(report.lanes.len(), manifest.shards + 1);
+            // Zero wrongful rejections in every lane and overall.
+            for lane in &report.lanes {
+                assert_eq!(
+                    lane.wrongful,
+                    0,
+                    "{}: lane {} wrongfully rejected",
+                    o.kind.name(),
+                    lane.name
+                );
+            }
+            assert!(o.clean(), "{}: {:?}", o.kind.name(), o.green);
+            // The adversarial footprint mix must actually exercise the
+            // arbiter lane, not just the per-shard fast paths.
+            let arbiter = report.lanes.last().unwrap();
+            assert!(
+                arbiter.routed > 0,
+                "{}: nothing reached the arbiter",
+                o.kind.name()
+            );
+        }
     }
 
     #[test]

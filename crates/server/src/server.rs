@@ -169,6 +169,10 @@ struct Shared<W: Wal> {
     work: Mutex<()>,
     work_cv: Condvar,
     metrics: Mutex<MetricsRegistry>,
+    /// Top-level directories ever exported as `server.shard.*` gauges —
+    /// a shard whose queue empties must re-export as zero, not linger
+    /// at its last depth.
+    shard_dirs: Mutex<std::collections::BTreeSet<String>>,
 }
 
 impl<W: Wal> Shared<W> {
@@ -211,6 +215,7 @@ impl<W: Wal + Send + 'static> Server<W> {
             verdicts_cv: Condvar::new(),
             work: Mutex::new(()),
             work_cv: Condvar::new(),
+            shard_dirs: Mutex::new(Default::default()),
             metrics: Mutex::new(MetricsRegistry::new()),
         });
         let mut threads = Vec::new();
@@ -533,6 +538,20 @@ fn handle<W: Wal>(shared: &Shared<W>, req: Request) -> Response {
             let mut m = shared.metrics.lock().unwrap();
             shared.queue.record_into(&mut m);
             m.set_gauge("server.queue_depth", shared.queue.queue_depth() as f64);
+            // Per-shard depths (queued submissions grouped by patch
+            // top-level directory): purely additive JSON keys, and a
+            // shard that drained re-exports as zero rather than
+            // lingering at its last depth.
+            let by_dir = shared.queue.queue_depth_by_dir();
+            let mut dirs = shared.shard_dirs.lock().unwrap();
+            for known in dirs.iter() {
+                m.set_gauge(&format!("server.shard.{known}.queue_depth"), 0.0);
+            }
+            for (dir, depth) in by_dir {
+                m.set_gauge(&format!("server.shard.{dir}.queue_depth"), depth as f64);
+                dirs.insert(dir);
+            }
+            drop(dirs);
             Response::StatsJson { json: m.to_json() }
         }
         Request::Head => {

@@ -54,6 +54,11 @@ pub struct ScenarioManifest {
     pub infra_fault_rate: f64,
     /// Worker fleet size.
     pub workers: usize,
+    /// Shards the planner partitions the part space into (`0` = the
+    /// classic single planning queue). Older manifests without the
+    /// field deserialize as unsharded.
+    #[serde(default)]
+    pub shards: usize,
 }
 
 impl ScenarioManifest {
@@ -72,6 +77,7 @@ impl ScenarioManifest {
             duration_hours: 1.0,
             infra_fault_rate: 0.03,
             workers: 120,
+            shards: 0,
         }
     }
 
@@ -138,6 +144,31 @@ impl ScenarioManifest {
         }
     }
 
+    /// Sharded planning under an arbiter-hostile footprint mix: wide
+    /// changes that straddle shards and hub touches that drag otherwise
+    /// shard-local changes into the arbiter lane, so the cross-shard
+    /// path (not the per-shard fast path) carries the load.
+    pub fn shard_stress() -> Self {
+        ScenarioManifest {
+            name: "shard-stress".into(),
+            description: "sharded planner with wide footprints forcing the arbiter lane".into(),
+            overrides: ParamOverrides {
+                changes_per_hour: Some(200.0),
+                mean_parts_per_change: Some(3.0),
+                ..ParamOverrides::default()
+            },
+            adversary: AdversaryPlan {
+                hub: Some(HubTouches {
+                    prob: 0.25,
+                    span: 3,
+                }),
+                ..AdversaryPlan::none()
+            },
+            shards: 4,
+            ..Self::baseline()
+        }
+    }
+
     /// The named CI matrix, in reporting order. `bench_scenarios`, the
     /// committed `BENCH_scenarios.json` and the smoke gate all iterate
     /// exactly this list.
@@ -148,6 +179,7 @@ impl ScenarioManifest {
             Self::flaky_cluster(),
             Self::hub_touch(),
             Self::diurnal_spike(),
+            Self::shard_stress(),
         ]
     }
 
@@ -228,7 +260,8 @@ mod tests {
                 "revert-storm",
                 "flaky-cluster",
                 "hub-touch",
-                "diurnal-spike"
+                "diurnal-spike",
+                "shard-stress"
             ]
         );
         for name in &names {

@@ -60,4 +60,7 @@ cargo run --release -p sq-bench --bin bench_replication -- --smoke
 echo "==> bench_server --smoke (serving layer: zero lost acks across graceful drain/restart, byte-identical rerun)"
 cargo run --release -p sq-bench --bin bench_server -- --smoke
 
+echo "==> bench_shard --smoke (sharded planner: always-green, zero wrongful per lane, sharded >= single-queue, byte-identical rerun)"
+cargo run --release -p sq-bench --bin bench_shard -- --smoke
+
 echo "All checks passed."
