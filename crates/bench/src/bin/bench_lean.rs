@@ -1,0 +1,128 @@
+//! The lean-speculation ablation matrix, machine-readable.
+//!
+//! Replays one seeded workload through five lean configurations —
+//! baseline, probability-gated skipping, risk prioritization, bypass
+//! lanes, and all three together — audits every cell (always-green,
+//! zero wrongful rejections), and writes the combined ablation
+//! document.
+//!
+//! Default mode runs the recorded configuration (identical to
+//! `bench_e2e`'s, so the baseline cell reproduces `BENCH_e2e.json`'s
+//! build counts) and writes `results/BENCH_lean.json` under the
+//! repository root; `--out <path>` overrides the destination (how the
+//! committed trajectory at the repo root is refreshed:
+//! `bench_lean --out BENCH_lean.json`). `--smoke` runs a small
+//! configuration, writes under `target/figures/`, and exits nonzero
+//! unless every cell passes its audits and a same-seed rerun
+//! reproduces the document byte for byte.
+
+use sq_bench::lean::{matrix_json, run_matrix, validate, violations, LeanBenchParams};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_override = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("[bench_lean] FAIL: --out requires a path argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+    let params = if smoke {
+        LeanBenchParams::smoke()
+    } else {
+        LeanBenchParams::standard()
+    };
+    println!(
+        "[bench_lean] {} run: seed={} changes={} rate={} workers={} history={}",
+        if smoke { "smoke" } else { "standard" },
+        params.seed,
+        params.n_changes,
+        params.rate,
+        params.workers,
+        params.history_changes,
+    );
+
+    let matrix = run_matrix(&params);
+    println!(
+        "[bench_lean] calibrated skip threshold: {}",
+        matrix.skip_threshold
+    );
+    for cell in &matrix.cells {
+        let report = cell.lean_report();
+        println!(
+            "[bench_lean]   {:22} started={:4} wasted={:4} sustained={:8.3}/h \
+             skipped={:3} (hits={} misses={}) bypassed={:3} {}",
+            cell.label,
+            cell.result.builds_started,
+            cell.wasted(),
+            cell.result.sustained_throughput_per_hour(),
+            report.skipped,
+            report.skip_hits,
+            report.skip_misses,
+            report.bypassed,
+            if cell.green.is_ok() && cell.wrongful == 0 {
+                "clean"
+            } else {
+                "VIOLATIONS"
+            },
+        );
+    }
+
+    let problems = violations(&matrix);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("[bench_lean] FAIL: {p}");
+        }
+        std::process::exit(1);
+    }
+
+    let doc = matrix_json(&matrix);
+    if let Err(e) = validate(&doc) {
+        eprintln!("[bench_lean] FAIL: emitted document is invalid: {e}");
+        std::process::exit(1);
+    }
+    if smoke {
+        // Determinism gate: a same-seed rerun must reproduce the
+        // document byte for byte.
+        let rerun = matrix_json(&run_matrix(&params));
+        if rerun != doc {
+            eprintln!("[bench_lean] FAIL: same-seed rerun diverged from the first run");
+            std::process::exit(1);
+        }
+        println!("[bench_lean] same-seed rerun is byte-identical");
+    }
+
+    let out_path = match out_override {
+        Some(out) => {
+            let p = PathBuf::from(out);
+            if p.is_absolute() {
+                p
+            } else {
+                repo_root().join(p)
+            }
+        }
+        None if smoke => sq_bench::figures_dir().join("BENCH_lean_smoke.json"),
+        None => repo_root().join("results").join("BENCH_lean.json"),
+    };
+    if let Some(dir) = out_path.parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &doc).expect("write ablation JSON");
+    println!(
+        "[bench_lean] ok: wrote {} ({} bytes)",
+        out_path.display(),
+        doc.len()
+    );
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench/ -> crates/ -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf()
+}

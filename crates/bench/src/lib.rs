@@ -22,6 +22,7 @@
 //! | `bench_replication` | WAL shipping + failover (`BENCH_replication.json`)  |
 //! | `bench_server`      | live-socket serving layer (`BENCH_server.json`)     |
 //! | `bench_shard`       | sharded vs single-queue planner (`BENCH_shard.json`)|
+//! | `bench_lean`        | lean-speculation ablation matrix (`BENCH_lean.json`)|
 //!
 //! Every binary prints the series to stdout and writes a CSV to
 //! `target/figures/`. Environment knobs: `SQ_BENCH_HOURS` (simulated
@@ -35,6 +36,7 @@
 
 pub mod conflict;
 pub mod e2e;
+pub mod lean;
 pub mod replication;
 pub mod scenarios;
 pub mod server;
@@ -163,7 +165,15 @@ pub fn trained_predictor() -> LearnedPredictor {
     p
 }
 
-/// Instantiate a strategy for a workload, reusing a trained predictor.
+/// Skip threshold shared by grid cells that reuse [`trained_predictor`]:
+/// calibrated once against the same training history.
+pub fn calibrated_skip_threshold(predictor: &LearnedPredictor) -> f64 {
+    predictor.calibrate_skip_threshold(&training_history(), sq_core::SKIP_MISS_BUDGET)
+}
+
+/// Instantiate a strategy for a workload, reusing a trained predictor
+/// (the lean kinds calibrate their skip threshold against the shared
+/// training history).
 pub fn strategy_for(
     kind: StrategyKind,
     workload: &Workload,
@@ -171,7 +181,10 @@ pub fn strategy_for(
 ) -> Strategy {
     match kind {
         StrategyKind::SubmitQueue => Strategy::submit_queue_with(predictor.clone()),
-        _ => Strategy::build(kind, workload, None),
+        _ => match kind.lean_config(calibrated_skip_threshold(predictor)) {
+            Some(cfg) => Strategy::lean_with(predictor.clone(), cfg),
+            None => Strategy::build(kind, workload, None),
+        },
     }
 }
 

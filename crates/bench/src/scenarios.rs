@@ -280,10 +280,22 @@ pub fn validate(json: &str) -> Result<(), String> {
                 StrategyKind::COUNT
             ));
         }
-        for row in &strategies {
+        // The census check: every StrategyKind, in `all()` order, in
+        // every scenario document — a kind added to the enum that never
+        // reaches the matrix fails validation here.
+        for (row, kind) in strategies.iter().zip(StrategyKind::all()) {
             let Value::Map(r) = row else {
                 return Err(format!("{expected_name}: strategy row is not an object"));
             };
+            match get(r, "strategy") {
+                Some(Value::Str(name)) if name == kind.name() => {}
+                other => {
+                    return Err(format!(
+                        "{expected_name}: expected strategy {:?}, got {other:?}",
+                        kind.name()
+                    ))
+                }
+            }
             for key in [
                 "strategy",
                 "green",

@@ -201,6 +201,7 @@ mod tests {
             infra_retries: 0,
             infra_backoff: sq_sim::SimDuration::ZERO,
             quarantined: Vec::new(),
+            lean: None,
         }
     }
 

@@ -30,7 +30,10 @@
 //!   (Section 7.1).
 //! * [`strategy`] — SubmitQueue plus every baseline evaluated in
 //!   Section 8: Speculate-all, Optimistic (Zuul), Single-Queue (Bors),
-//!   and the Oracle used for normalization.
+//!   and the Oracle used for normalization — plus the lean variants.
+//! * [`lean`] — the Uber 2025 follow-up optimizations: probability-
+//!   gated speculation skipping, risk prioritization, and bypass lanes
+//!   (`LeanConfig`, `BypassPolicy`, `LeanReport`).
 //! * [`planner`] — the planner engine driving a discrete-event
 //!   simulation: schedules/aborts builds, commits changes, measures
 //!   turnaround and throughput.
@@ -68,6 +71,7 @@ pub mod batching;
 pub mod durable;
 pub mod failover;
 pub mod index;
+pub mod lean;
 pub mod pending;
 pub mod planner;
 pub mod predict;
@@ -86,6 +90,7 @@ pub use failover::{
     PromotionReport, ReconnectScheduler, ReconnectTick,
 };
 pub use index::{ConflictIndex, ConflictMatrix, IndexStats, TrunkHash};
+pub use lean::{BypassPolicy, LeanConfig, LeanReport, SKIP_MISS_BUDGET};
 pub use pending::{ChangeOutcome, ChangeRecord};
 pub use planner::{run_simulation, PlannerConfig, SimResult};
 pub use predict::{LearnedPredictor, OraclePredictor, Predictor};

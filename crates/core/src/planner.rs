@@ -18,6 +18,7 @@
 //! the headline invariant (an always-green commit log) after the fact.
 
 use crate::analyzer::{ConflictGraph, IndexedAnalyzer};
+use crate::lean::LeanReport;
 use crate::pending::{ChangeOutcome, ChangeRecord};
 use crate::predict::SpeculationCounters;
 use crate::recovery::QuarantineList;
@@ -178,6 +179,9 @@ pub struct SimResult {
     pub infra_backoff: SimDuration,
     /// Changes flagged as chronically infra-flaky (quarantine list).
     pub quarantined: Vec<ChangeId>,
+    /// Lean-speculation accounting (skips, hits, misses, bypasses) —
+    /// present exactly when the strategy is a lean instance.
+    pub lean: Option<LeanReport>,
 }
 
 impl SimResult {
@@ -325,6 +329,9 @@ pub fn run_simulation_observed(
         None => (vec![config.workers], vec![String::new()]),
     };
     let n_lanes = lane_workers.len();
+    // A strategy instance may be reused across runs (the benchmark
+    // grid); lean decision bookkeeping is per-run.
+    strategy.lean_reset();
     let mut sim = Planner {
         workload,
         truth: workload.truth(),
@@ -360,6 +367,7 @@ pub fn run_simulation_observed(
                 .map(|f| f.quarantine_threshold.max(1))
                 .unwrap_or(u32::MAX),
         ),
+        lean: strategy.is_lean().then(LeanReport::default),
         obs,
     };
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -406,6 +414,11 @@ pub fn run_simulation_observed(
         // wall-clock-dependent can reach the export (the byte-identity
         // test below depends on this).
         sim.analyzer.index().stats().record_into(metrics);
+        // Lean counters exist only for lean strategies, so every other
+        // strategy's export stays byte-identical to the pre-lean planner.
+        if let Some(report) = &sim.lean {
+            report.record_into(metrics);
+        }
     }
     SimResult {
         strategy: strategy.kind(),
@@ -418,6 +431,7 @@ pub fn run_simulation_observed(
         infra_retries: sim.infra_retries,
         infra_backoff: sim.infra_backoff,
         quarantined: sim.quarantine.quarantined().copied().collect(),
+        lean: sim.lean,
     }
 }
 
@@ -492,6 +506,8 @@ struct Planner<'a> {
     infra_retries: u64,
     infra_backoff: SimDuration,
     quarantine: QuarantineList<ChangeId>,
+    /// Lean accounting, present only for lean strategies.
+    lean: Option<LeanReport>,
     obs: &'a mut Observer,
 }
 
@@ -612,6 +628,22 @@ impl<'a> Planner<'a> {
             .remove(&id)
             .expect("resolving a pending change");
         self.lane_pending_count[p.lane] -= 1;
+        // Lean accounting: a skip was a *hit* when the change resolved
+        // without a single aborted build (the speculation we didn't run
+        // would have been pure waste), a *miss* otherwise.
+        if let Some(report) = self.lean.as_mut() {
+            if self.strategy.lean_skipped(id) {
+                report.skipped += 1;
+                if p.builds_aborted == 0 {
+                    report.skip_hits += 1;
+                } else {
+                    report.skip_misses += 1;
+                }
+            }
+            if self.strategy.lean_bypassed(id) {
+                report.bypassed += 1;
+            }
+        }
         let spec = self.spec(id);
         let turnaround_mins = now.since(spec.submit_time).as_mins_f64();
         self.obs.metrics.inc(if ok {

@@ -220,6 +220,47 @@ impl LearnedPredictor {
             },
         )
     }
+
+    /// Calibrate a lean-speculation skip threshold against `history`:
+    /// the largest conflict-probability cutoff whose *empirical* miss
+    /// rate — the fraction of potentially-conflicting pairs scored
+    /// below the cutoff that really conflict — stays within
+    /// `max_miss_rate`. Scores come from this predictor over the same
+    /// pair enumeration used at training time, so the threshold is
+    /// calibrated in the score space the planner will consult.
+    ///
+    /// Returns `0.0` (never skip) when no cutoff on the grid is safe —
+    /// a deliberately conservative fallback: lean speculation degrades
+    /// to plain SubmitQueue rather than guessing.
+    pub fn calibrate_skip_threshold(&self, history: &Workload, max_miss_rate: f64) -> f64 {
+        let truth = history.truth();
+        let changes = &history.changes;
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for (i, a) in changes.iter().enumerate() {
+            for b in changes[i + 1..].iter().take(12) {
+                if !a.potentially_conflicts(b) {
+                    continue;
+                }
+                scores.push(self.p_conflict(history, a, b));
+                labels.push(truth.real_conflict(a, b));
+            }
+        }
+        if scores.len() < 50 {
+            return 0.0; // too little evidence to gate anything
+        }
+        let calibration = sq_ml::Calibration::fit(&scores, &labels, 20);
+        // Candidate cutoffs span the *low-risk* regime only: skipping is
+        // for changes the model is confident about, so the grid tops out
+        // well below coin-flip odds. (The empirical-rate curve goes
+        // nearly flat above this range — few pairs score there — and an
+        // unbounded grid would let the budget leap to absurd cutoffs on
+        // tail noise.)
+        const GRID: [f64; 6] = [0.005, 0.01, 0.02, 0.03, 0.05, 0.08];
+        calibration
+            .largest_threshold_with_rate_below(&GRID, max_miss_rate)
+            .unwrap_or(0.0)
+    }
 }
 
 impl Predictor for LearnedPredictor {
@@ -357,5 +398,18 @@ mod tests {
         );
         assert!(p_good > p_neutral, "succeeded speculations raise P_succ");
         assert!(p_bad < p_neutral, "failed speculations lower P_succ");
+    }
+
+    #[test]
+    fn calibrated_skip_threshold_is_deterministic_and_bounded() {
+        let history = workload(4_000, 17);
+        let (predictor, _) = LearnedPredictor::train(&history, 0xFEED);
+        let t1 = predictor.calibrate_skip_threshold(&history, 0.02);
+        let t2 = predictor.calibrate_skip_threshold(&history, 0.02);
+        assert_eq!(t1, t2, "calibration must be deterministic");
+        assert!((0.0..=0.5).contains(&t1));
+        // Loosening the miss budget never tightens the threshold.
+        let loose = predictor.calibrate_skip_threshold(&history, 0.2);
+        assert!(loose >= t1);
     }
 }

@@ -11,7 +11,9 @@
 //! clusters and hub touches are part of what the models learn.
 
 use crate::audit::{audit_green, audit_rejections_justified, count_wrongful_rejections};
+use crate::lean::SKIP_MISS_BUDGET;
 use crate::planner::{run_simulation, PlannerConfig, SimFaults, SimResult};
+use crate::predict::LearnedPredictor;
 use crate::shard::{ShardPlan, ShardReport, ShardSpec};
 use crate::strategy::{Strategy, StrategyKind};
 use sq_workload::{ScenarioManifest, Workload, WorkloadBuilder};
@@ -111,10 +113,23 @@ pub fn run_scenario(
             .map(|p| ShardSpec::proportional(p, &workload, manifest.workers)),
         ..PlannerConfig::default()
     };
+    // Train the learned models once and share them across every kind
+    // that needs them (SubmitQueue + the three lean variants) — the
+    // same seed and calibration budget `Strategy::build` uses, so the
+    // shared instances are decision-identical to per-kind training.
+    let (predictor, _) = LearnedPredictor::train(&history, 0xFEED);
+    let skip_threshold = predictor.calibrate_skip_threshold(&history, SKIP_MISS_BUDGET);
     let outcomes: Vec<StrategyOutcome> = StrategyKind::all()
         .into_iter()
         .map(|kind| {
-            let strategy = Strategy::build(kind, &workload, Some(&history));
+            let strategy = match kind.lean_config(skip_threshold) {
+                Some(cfg) => Strategy::lean_with(predictor.clone(), cfg),
+                None if kind == StrategyKind::SubmitQueue => {
+                    Strategy::submit_queue_with(predictor.clone())
+                }
+                None => Strategy::build(kind, &workload, None),
+            };
+            debug_assert_eq!(strategy.kind(), kind);
             let result = run_simulation(&workload, &strategy, &config);
             let green = audit_green(&workload, &result);
             let rejections_justified = audit_rejections_justified(&workload, &result);

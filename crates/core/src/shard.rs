@@ -332,6 +332,8 @@ pub fn lane_result(
             .copied()
             .filter(|&id| in_lane(id))
             .collect(),
+        // Global lean accounting is not attributable per lane.
+        lean: None,
     }
 }
 

@@ -154,12 +154,56 @@ impl SpeculationEngine {
         budget: usize,
         benefit: B,
     ) -> Vec<PlannedBuild> {
+        Self::select_builds_configured(
+            workload,
+            pending,
+            graph,
+            predictor,
+            counters,
+            fixed,
+            budget,
+            benefit,
+            |_| usize::MAX,
+        )
+    }
+
+    /// The fully configurable selector behind [`Self::select_builds`]
+    /// and [`Self::select_builds_weighted`]: per-change benefit
+    /// multipliers *and* per-change pattern caps. `pattern_cap(c)`
+    /// bounds how many outcome patterns of change `c` may enter the
+    /// plan: `usize::MAX` is the paper's unbounded speculation, `1`
+    /// admits only the single most-likely pattern (lean skipping), and
+    /// `0` removes the change from engine selection entirely (bypass
+    /// lanes schedule it out of band). Capping never changes the order
+    /// or value of the patterns that *are* emitted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_builds_configured<P, B, K>(
+        workload: &Workload,
+        pending: &[&ChangeSpec],
+        graph: &ConflictGraph,
+        predictor: &P,
+        counters: &HashMap<ChangeId, SpeculationCounters>,
+        fixed: &HashMap<ChangeId, Vec<ChangeId>>,
+        budget: usize,
+        benefit: B,
+        pattern_cap: K,
+    ) -> Vec<PlannedBuild>
+    where
+        P: Predictor,
+        B: Fn(ChangeId) -> f64,
+        K: Fn(ChangeId) -> usize,
+    {
         let p_commit =
             Self::commit_probabilities(workload, pending, graph, predictor, counters, fixed);
-        // One lazy pattern generator per pending change.
-        let mut generators: HashMap<ChangeId, PatternGen> = HashMap::new();
+        // One lazy pattern generator per pending change, plus how many
+        // more patterns it may still emit.
+        let mut generators: HashMap<ChangeId, (PatternGen, usize)> = HashMap::new();
         let mut global: BinaryHeap<Frontier> = BinaryHeap::new();
         for c in pending {
+            let cap = pattern_cap(c.id);
+            if cap == 0 {
+                continue;
+            }
             let b = benefit(c.id);
             debug_assert!(b.is_finite() && b > 0.0, "benefit must be positive");
             let d_i = graph.earlier_conflicts(c.id);
@@ -169,7 +213,7 @@ impl SpeculationEngine {
                     value: first.value * b,
                     key: first.key,
                 });
-                generators.insert(c.id, g);
+                generators.insert(c.id, (g, cap - 1));
             }
         }
         let mut out = Vec::with_capacity(budget.min(64));
@@ -182,12 +226,15 @@ impl SpeculationEngine {
             }
             let subject = key.subject;
             out.push(PlannedBuild { key, value });
-            if let Some(g) = generators.get_mut(&subject) {
-                if let Some(next) = g.next_pattern() {
-                    global.push(Frontier {
-                        value: next.value * benefit(subject),
-                        key: next.key,
-                    });
+            if let Some((g, remaining)) = generators.get_mut(&subject) {
+                if *remaining > 0 {
+                    if let Some(next) = g.next_pattern() {
+                        *remaining -= 1;
+                        global.push(Frontier {
+                            value: next.value * benefit(subject),
+                            key: next.key,
+                        });
+                    }
                 }
             }
         }
@@ -785,6 +832,106 @@ mod tests {
             &HashMap::new(),
             20,
             |_| 1.0,
+        );
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert!((x.value - y.value).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pattern_cap_one_keeps_only_the_most_likely_pattern() {
+        // Three mutually conflicting changes; capping C2 at one pattern
+        // keeps exactly its best build while C0/C1 speculate freely.
+        let w = workload(3);
+        let g = graph_with(&w, 3, &[(0, 1), (0, 2), (1, 2)]);
+        let pending: Vec<&ChangeSpec> = w.changes[..3].iter().collect();
+        let capped = ChangeId(2);
+        let builds = SpeculationEngine::select_builds_configured(
+            &w,
+            &pending,
+            &g,
+            &UniformPredictor,
+            &HashMap::new(),
+            &HashMap::new(),
+            100,
+            |_| 1.0,
+            |id| if id == capped { 1 } else { usize::MAX },
+        );
+        let uncapped = SpeculationEngine::select_builds(
+            &w,
+            &pending,
+            &g,
+            &UniformPredictor,
+            &HashMap::new(),
+            &HashMap::new(),
+            100,
+        );
+        assert_eq!(builds.iter().filter(|b| b.key.subject == capped).count(), 1);
+        let best_capped = builds.iter().find(|b| b.key.subject == capped).unwrap();
+        let best_uncapped = uncapped.iter().find(|b| b.key.subject == capped).unwrap();
+        assert_eq!(best_capped.key, best_uncapped.key, "cap keeps the best");
+        // Everything else is untouched.
+        let others = |v: &[PlannedBuild]| {
+            v.iter()
+                .filter(|b| b.key.subject != capped)
+                .map(|b| b.key.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(others(&builds), others(&uncapped));
+    }
+
+    #[test]
+    fn pattern_cap_zero_removes_the_change_from_selection() {
+        let w = workload(3);
+        let g = graph_with(&w, 3, &[(0, 1), (0, 2), (1, 2)]);
+        let pending: Vec<&ChangeSpec> = w.changes[..3].iter().collect();
+        let builds = SpeculationEngine::select_builds_configured(
+            &w,
+            &pending,
+            &g,
+            &UniformPredictor,
+            &HashMap::new(),
+            &HashMap::new(),
+            100,
+            |_| 1.0,
+            |id| if id == ChangeId(1) { 0 } else { usize::MAX },
+        );
+        assert!(builds.iter().all(|b| b.key.subject != ChangeId(1)));
+        assert!(builds.iter().any(|b| b.key.subject == ChangeId(0)));
+        assert!(builds.iter().any(|b| b.key.subject == ChangeId(2)));
+    }
+
+    #[test]
+    fn unbounded_cap_matches_unweighted_selection() {
+        let w = workload(12);
+        let mut analyzer = crate::analyzer::StatisticalAnalyzer::new();
+        let mut g = ConflictGraph::new();
+        let mut pending: Vec<&ChangeSpec> = Vec::new();
+        for c in &w.changes[..12] {
+            g.admit(c, &pending, &mut analyzer);
+            pending.push(c);
+        }
+        let a = SpeculationEngine::select_builds(
+            &w,
+            &pending,
+            &g,
+            &UniformPredictor,
+            &HashMap::new(),
+            &HashMap::new(),
+            30,
+        );
+        let b = SpeculationEngine::select_builds_configured(
+            &w,
+            &pending,
+            &g,
+            &UniformPredictor,
+            &HashMap::new(),
+            &HashMap::new(),
+            30,
+            |_| 1.0,
+            |_| usize::MAX,
         );
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {

@@ -19,17 +19,21 @@
 //! * [`rfe`] — recursive feature elimination over standardized weights.
 //! * [`boost`] — gradient-boosted decision stumps, the Section 10
 //!   "future work" model, for head-to-head comparison.
+//! * [`calibration`] — reliability bins and empirical threshold search
+//!   for probability-gated decisions (lean speculation skipping).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod boost;
+pub mod calibration;
 pub mod dataset;
 pub mod logistic;
 pub mod metrics;
 pub mod rfe;
 
 pub use boost::{BoostConfig, GradientBoostedStumps};
+pub use calibration::{Calibration, ReliabilityBin};
 pub use dataset::{Dataset, Scaler, Split};
 pub use logistic::{LogisticRegression, TrainConfig};
 pub use metrics::{accuracy, confusion, log_loss, roc_auc, Confusion};

@@ -107,6 +107,11 @@ pub struct ChangeSpec {
     /// Whether this change edits BUILD files (alters the build graph) —
     /// disables the analyzer's fast path.
     pub alters_build_graph: bool,
+    /// Explicit emergency flag: the submitter requested the bypass lane
+    /// (hotfix/rollback). Defaults to `false`; bypass-lane strategies
+    /// honor it regardless of footprint.
+    #[serde(default)]
+    pub emergency: bool,
     /// Hidden ground truth: would this change's build steps pass against
     /// the submitted-from HEAD in isolation?
     pub intrinsic_success: bool,
@@ -152,6 +157,7 @@ mod tests {
             presubmit_passed: true,
             parts: parts.iter().map(|&p| PartId(p)).collect(),
             alters_build_graph: false,
+            emergency: false,
             intrinsic_success: true,
             intrinsic_success_prob: 0.9,
         }

@@ -262,6 +262,10 @@ impl WorkloadBuilder {
                 presubmit_passed,
                 parts,
                 alters_build_graph,
+                // No RNG draw: the synthetic trace never flags
+                // emergencies, keeping every committed trajectory
+                // byte-identical. Tests and benches set it explicitly.
+                emergency: false,
                 intrinsic_success,
                 intrinsic_success_prob: p_success,
             });

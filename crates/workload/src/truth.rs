@@ -154,6 +154,7 @@ mod tests {
             presubmit_passed: true,
             parts: parts.iter().map(|&p| PartId(p)).collect(),
             alters_build_graph: false,
+            emergency: false,
             intrinsic_success: ok,
             intrinsic_success_prob: if ok { 0.9 } else { 0.1 },
         }

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Benchmark regression gate. Regenerates the deterministic benchmark
+# documents and compares them field-by-field against the committed
+# copies at the repository root:
+#
+#   - sustained_throughput_per_hour may not regress by more than
+#     SQ_BENCH_TOLERANCE_PCT percent (default 5) in any occurrence;
+#   - wasted builds may not increase at all, anywhere.
+#
+# Occurrences are compared positionally, which matches cells one-to-one
+# because both documents carry the same schema and the ablation cell
+# order is validated by the emitting binary. On this repository's
+# simulated clock the documents are byte-reproducible, so the tolerance
+# only matters once real-machine noise enters a document; the wasted
+# gate is exact on purpose — waste is the lean headline number.
+#
+#   scripts/bench_compare.sh            # regenerate + compare e2e, lean
+#   SQ_BENCH_TOLERANCE_PCT=2 scripts/bench_compare.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tolerance="${SQ_BENCH_TOLERANCE_PCT:-5}"
+failures=0
+
+extract() { # extract <file> <json-key> -> one value per line, in order
+  grep -o "\"$2\":[0-9.eE+-]*" "$1" | cut -d: -f2
+}
+
+compare_doc() { # compare_doc <committed> <fresh>
+  local committed="$1" fresh="$2"
+  if [[ ! -f "$committed" ]]; then
+    echo "MISSING committed document $committed" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  # Throughput: every occurrence must stay within tolerance of committed.
+  paste -d' ' <(extract "$committed" sustained_throughput_per_hour) \
+              <(extract "$fresh" sustained_throughput_per_hour) |
+    awk -v tol="$tolerance" -v doc="$committed" '
+      { floor = $1 * (1 - tol / 100)
+        if ($2 < floor) {
+          printf "REGRESSION %s cell %d: sustained %.3f < %.3f (committed %.3f - %s%%)\n",
+                 doc, NR, $2, floor, $1, tol
+          bad = 1
+        } else {
+          printf "ok %s cell %d: sustained %.3f vs committed %.3f\n", doc, NR, $2, $1
+        }
+      }
+      END { exit bad }' || failures=$((failures + 1))
+  # Waste: any increase in any occurrence fails.
+  paste -d' ' <(extract "$committed" wasted) <(extract "$fresh" wasted) |
+    awk -v doc="$committed" '
+      { if ($2 > $1) {
+          printf "REGRESSION %s cell %d: wasted %d > committed %d\n", doc, NR, $2, $1
+          bad = 1
+        } else {
+          printf "ok %s cell %d: wasted %d vs committed %d\n", doc, NR, $2, $1
+        }
+      }
+      END { exit bad }' || failures=$((failures + 1))
+}
+
+echo "==> regenerating benchmark documents"
+cargo run --release -p sq-bench --bin bench_e2e >/dev/null
+cargo run --release -p sq-bench --bin bench_lean >/dev/null
+
+echo "==> comparing against committed documents (tolerance ${tolerance}%)"
+compare_doc BENCH_e2e.json results/BENCH_e2e.json
+compare_doc BENCH_lean.json results/BENCH_lean.json
+
+if [[ "$failures" -gt 0 ]]; then
+  echo "benchmark regression gate FAILED ($failures check(s))" >&2
+  exit 1
+fi
+echo "benchmark regression gate passed."

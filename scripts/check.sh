@@ -4,6 +4,9 @@
 #   scripts/check.sh          # everything (what CI runs)
 #   scripts/check.sh --quick  # release build + root-package tests only
 #
+# Every step reports its elapsed seconds, and a summary sorted by cost
+# prints at the end so the slowest gate is always the first line.
+#
 # The build is fully offline: all external dependencies resolve to the
 # API-compatible stand-ins under vendor/ (see vendor/README.md).
 set -euo pipefail
@@ -16,12 +19,34 @@ case "${1:-}" in
   *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
 esac
 
-echo "==> cargo build --release"
-cargo build --release
+timings=""
+
+step() { # step <label> <command...>
+  local label="$1"
+  shift
+  echo "==> $label"
+  local start elapsed
+  start=$SECONDS
+  "$@"
+  elapsed=$((SECONDS - start))
+  echo "    (${elapsed}s) $label"
+  timings+="${elapsed}	${label}
+"
+}
+
+summary() {
+  echo
+  echo "Step timings (slowest first):"
+  printf '%s' "$timings" | sort -rn | awk -F'\t' '{ printf "  %5ss  %s\n", $1, $2 }'
+}
+
+step "cargo build --release" \
+  cargo build --release
 
 if [[ "$quick" == 1 ]]; then
-  echo "==> cargo test -q (root package: integration + property suites)"
-  cargo test -q
+  step "cargo test -q (root package: integration + property suites)" \
+    cargo test -q
+  summary
   echo "Quick checks passed."
   exit 0
 fi
@@ -29,38 +54,32 @@ fi
 # The workspace run already covers the root package (unit, integration
 # including chaos_recovery, property and doc tests) — running
 # `cargo test -q` first would execute all of those twice.
-echo "==> cargo test --workspace -q (every crate, including vendor shims)"
-cargo test --workspace -q
+step "cargo test --workspace -q (every crate, including vendor shims)" \
+  cargo test --workspace -q
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+step "cargo fmt --check" \
+  cargo fmt --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings (vendor stand-ins excluded)"
-cargo clippy --workspace --all-targets \
-  --exclude bytes --exclude criterion --exclude crossbeam --exclude parking_lot \
-  --exclude proptest --exclude rand --exclude serde --exclude serde_derive \
-  --exclude serde_json \
-  -- -D warnings
+step "cargo clippy --workspace --all-targets -- -D warnings (vendor stand-ins excluded)" \
+  cargo clippy --workspace --all-targets \
+    --exclude bytes --exclude criterion --exclude crossbeam --exclude parking_lot \
+    --exclude proptest --exclude rand --exclude serde --exclude serde_derive \
+    --exclude serde_json \
+    -- -D warnings
 
-echo "==> bench_e2e --smoke (machine-readable benchmark: emit + validate JSON)"
-cargo run --release -p sq-bench --bin bench_e2e -- --smoke
+smoke() { # smoke <bin> <description>
+  step "$1 --smoke ($2)" \
+    cargo run --release -p sq-bench --bin "$1" -- --smoke
+}
 
-echo "==> bench_recovery --smoke (durable store: replay throughput + byte-identical recovery)"
-cargo run --release -p sq-bench --bin bench_recovery -- --smoke
+smoke bench_e2e "machine-readable benchmark: emit + validate JSON"
+smoke bench_recovery "durable store: replay throughput + byte-identical recovery"
+smoke bench_conflict "perf gate: indexed+parallel <= serial, byte-identical matrices"
+smoke bench_scenarios "adversarial matrix: always-green, no wrongful rejections, byte-identical rerun"
+smoke bench_replication "zero-loss gate: seeded failover, byte-identical state vs uncrashed twin"
+smoke bench_server "serving layer: zero lost acks across graceful drain/restart, byte-identical rerun"
+smoke bench_shard "sharded planner: always-green, zero wrongful per lane, sharded >= single-queue, byte-identical rerun"
+smoke bench_lean "lean ablation: every cell green, zero wrongful rejections, all-on wastes less than baseline, byte-identical rerun"
 
-echo "==> bench_conflict --smoke (perf gate: indexed+parallel <= serial, byte-identical matrices)"
-cargo run --release -p sq-bench --bin bench_conflict -- --smoke
-
-echo "==> bench_scenarios --smoke (adversarial matrix: always-green, no wrongful rejections, byte-identical rerun)"
-cargo run --release -p sq-bench --bin bench_scenarios -- --smoke
-
-echo "==> bench_replication --smoke (zero-loss gate: seeded failover, byte-identical state vs uncrashed twin)"
-cargo run --release -p sq-bench --bin bench_replication -- --smoke
-
-echo "==> bench_server --smoke (serving layer: zero lost acks across graceful drain/restart, byte-identical rerun)"
-cargo run --release -p sq-bench --bin bench_server -- --smoke
-
-echo "==> bench_shard --smoke (sharded planner: always-green, zero wrongful per lane, sharded >= single-queue, byte-identical rerun)"
-cargo run --release -p sq-bench --bin bench_shard -- --smoke
-
+summary
 echo "All checks passed."
